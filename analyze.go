@@ -1,0 +1,55 @@
+package cbtc
+
+import "cbtc/internal/graph"
+
+// Interference metrics quantify the paper's motivation that shorter and
+// fewer edges disturb fewer bystanders: the interference of an edge
+// {u,v} counts the other nodes within distance d(u,v) of either
+// endpoint.
+
+// AvgInterference returns the mean per-edge interference of the final
+// topology.
+func (r *Result) AvgInterference() float64 {
+	return graph.AvgInterference(r.G, r.Pos)
+}
+
+// MaxInterference returns the worst per-edge interference of the final
+// topology.
+func (r *Result) MaxInterference() int {
+	return graph.MaxInterference(r.G, r.Pos)
+}
+
+// Diameter returns the hop diameter of the final topology: the largest
+// hop count between any connected pair. Sparser topologies trade power
+// for longer routes; this measures the price.
+func (r *Result) Diameter() int { return graph.Diameter(r.G) }
+
+// IsBiconnected reports whether the final topology survives any single
+// node failure. CBTC guarantees connectivity, not biconnectivity; the
+// related work of Ramanathan & Rosales-Hain targets the stronger
+// property, so the comparison harness reports it.
+func (r *Result) IsBiconnected() bool { return graph.IsBiconnected(r.G) }
+
+// ArticulationPoints returns the cut vertices of the final topology —
+// the nodes whose failure would partition it.
+func (r *Result) ArticulationPoints() []int { return graph.ArticulationPoints(r.G) }
+
+// BottleneckRadius returns the smallest maximum transmission radius any
+// connected topology over these positions could achieve (the max edge of
+// the Euclidean minimum spanning forest of GR). CBTC's per-node radii
+// can beat it individually but its maximum radius cannot.
+func (r *Result) BottleneckRadius() float64 {
+	return graph.BottleneckRadius(r.GR, graph.EuclideanWeight(r.Pos))
+}
+
+// MaxRadius returns the largest per-node transmission radius in the
+// final topology.
+func (r *Result) MaxRadius() float64 {
+	var max float64
+	for _, rad := range r.Radii {
+		if rad > max {
+			max = rad
+		}
+	}
+	return max
+}

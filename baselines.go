@@ -1,0 +1,120 @@
+package cbtc
+
+import (
+	"fmt"
+
+	"cbtc/internal/baseline"
+	"cbtc/internal/core"
+	"cbtc/internal/graph"
+	"cbtc/internal/radio"
+)
+
+// BaselineKind selects one of the position-based topology-control
+// comparators from the paper's related-work section (§1). Unlike CBTC,
+// all of them require exact node positions.
+type BaselineKind int
+
+const (
+	// BaselineRNG is the relative neighborhood graph (Toussaint).
+	BaselineRNG BaselineKind = iota + 1
+	// BaselineGabriel is the Gabriel graph.
+	BaselineGabriel
+	// BaselineYao6 is the Yao (θ-) graph with 6 sectors — the
+	// position-based analogue of the cone condition, connectivity-safe.
+	BaselineYao6
+	// BaselineMinMaxRadius is the centralized minimum-maximum-radius
+	// assignment in the spirit of Ramanathan & Rosales-Hain.
+	BaselineMinMaxRadius
+)
+
+// String implements fmt.Stringer.
+func (k BaselineKind) String() string {
+	switch k {
+	case BaselineRNG:
+		return "rng"
+	case BaselineGabriel:
+		return "gabriel"
+	case BaselineYao6:
+		return "yao6"
+	case BaselineMinMaxRadius:
+		return "minmax-radius"
+	default:
+		return fmt.Sprintf("BaselineKind(%d)", int(k))
+	}
+}
+
+// BaselineKinds lists every implemented comparator.
+func BaselineKinds() []BaselineKind {
+	return []BaselineKind{BaselineRNG, BaselineGabriel, BaselineYao6, BaselineMinMaxRadius}
+}
+
+// RunBaseline builds the selected position-based topology over the
+// placement, restricted to the maximum-power graph of cfg. The Result
+// carries the same metrics as a CBTC run, so the comparators slot into
+// the same analyses. Optimization flags in cfg are ignored — baselines
+// have their own construction rules.
+func RunBaseline(kind BaselineKind, nodes []Point, cfg Config) (*Result, error) {
+	cfg, m, _, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	var g *graph.Graph
+	switch kind {
+	case BaselineRNG:
+		g = baseline.RNG(nodes, m.MaxRadius)
+	case BaselineGabriel:
+		g = baseline.Gabriel(nodes, m.MaxRadius)
+	case BaselineYao6:
+		g, err = baseline.YaoSymmetric(nodes, m.MaxRadius, 6)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	case BaselineMinMaxRadius:
+		g, _ = baseline.MinMaxRadius(nodes, m.MaxRadius)
+	default:
+		return nil, fmt.Errorf("%w: unknown baseline %v", ErrBadConfig, kind)
+	}
+	return baselineResult(nodes, m, g), nil
+}
+
+func baselineResult(nodes []Point, m radio.Model, g *graph.Graph) *Result {
+	n := len(nodes)
+	res := &Result{
+		G:        g,
+		GR:       core.MaxPowerGraph(nodes, m),
+		Pos:      append([]Point(nil), nodes...),
+		Radii:    make([]float64, n),
+		Powers:   make([]float64, n),
+		Boundary: make([]bool, n),
+		model:    m,
+	}
+	for u := 0; u < n; u++ {
+		res.Radii[u] = graph.NodeRadius(g, nodes, u)
+		res.Powers[u] = m.PowerFor(res.Radii[u])
+	}
+	res.AvgDegree = graph.AvgDegree(g)
+	var sum float64
+	for _, r := range res.Radii {
+		sum += r
+	}
+	if n > 0 {
+		res.AvgRadius = sum / float64(n)
+	}
+	return res
+}
+
+// RunBetaSkeleton builds the lune-based β-skeleton over the placement
+// for β ≥ 1 — the G_β family the paper cites alongside the RNG (β = 2)
+// and the Gabriel graph (β = 1). Connectivity of the max-power graph is
+// preserved for β ≤ 2 (the skeleton then contains the Euclidean MST).
+func RunBetaSkeleton(beta float64, nodes []Point, cfg Config) (*Result, error) {
+	cfg, m, _, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	g, err := baseline.BetaSkeleton(nodes, m.MaxRadius, beta)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return baselineResult(nodes, m, g), nil
+}

@@ -1,0 +1,330 @@
+package cbtc
+
+// The benchmark harness maps every table and figure of the paper's
+// evaluation (§5) to a regenerable workload:
+//
+//	BenchmarkTable1/...        — Table 1 columns (degree/radius per stack)
+//	BenchmarkFigure6           — the eight topology panels
+//	BenchmarkExample21         — Figure 2 asymmetry construction
+//	BenchmarkFigure5           — Theorem 2.4 disconnection construction
+//	BenchmarkOracle/...        — scalability of the minimal-power executor
+//	BenchmarkDistributed       — the full Hello/Ack protocol on netsim
+//	BenchmarkPairwisePolicy/...— ablation X2: redundant-edge policies
+//	BenchmarkPowerStretch      — extension X1: route-quality metric
+//
+// Absolute throughput is machine-dependent; the benchmarks exist so that
+// `go test -bench=.` regenerates every experiment and verifies its
+// invariant en passant (failed invariants abort the benchmark).
+
+import (
+	"testing"
+
+	"cbtc/internal/core"
+	"cbtc/internal/graph"
+	"cbtc/internal/netsim"
+	"cbtc/internal/proto"
+	"cbtc/internal/radio"
+	"cbtc/internal/workload"
+)
+
+// benchNetwork memoizes one paper-sized placement.
+var benchNetwork = workload.PaperNetwork(1)
+
+func benchModel() radio.Model { return radio.Default(workload.PaperRadius) }
+
+func BenchmarkTable1(b *testing.B) {
+	for _, col := range Table1Columns() {
+		col := col
+		b.Run(col.Name, func(b *testing.B) {
+			m := benchModel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if col.MaxPower {
+					gr := core.MaxPowerGraph(benchNetwork, m)
+					if graph.AvgDegree(gr) <= 0 {
+						b.Fatal("empty baseline")
+					}
+					continue
+				}
+				exec, err := core.Run(benchNetwork, m, col.Alpha)
+				if err != nil {
+					b.Fatal(err)
+				}
+				topo, err := core.BuildTopology(exec, col.Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s := topo.Summarize(); s.AvgDegree <= 0 {
+					b.Fatal("empty topology")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1FullSweep(b *testing.B) {
+	// One iteration = the entire Table 1 on a reduced network count;
+	// regenerating the paper's full 100-network table is
+	// `go run ./cmd/tablegen`.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := RunTable1(Table1Params{Networks: 3, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) != 8 {
+			b.Fatal("missing columns")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		panels, err := Figure6Panels(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 8 {
+			b.Fatal("missing panels")
+		}
+	}
+}
+
+func BenchmarkExample21(b *testing.B) {
+	m := benchModel()
+	alpha := AlphaAsymmetric + 0.2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pos, err := workload.Example21(alpha, m.MaxRadius)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec, err := core.Run(pos, m, alpha)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := exec.Nalpha()
+		if !n.HasArc(4, 0) || n.HasArc(0, 4) {
+			b.Fatal("asymmetry lost")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	m := benchModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pos, err := workload.Figure5(0.1, m.MaxRadius)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec, err := core.Run(pos, m, AlphaConnectivity+0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if graph.IsConnected(exec.Nalpha().SymmetricClosure()) {
+			b.Fatal("disconnection lost")
+		}
+	}
+}
+
+func BenchmarkOracle(b *testing.B) {
+	m := benchModel()
+	for _, n := range []int{50, 100, 300, 1000} {
+		pos := workload.Uniform(workload.Rand(9), n, 1500, 1500)
+		b.Run(benchName("n", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(pos, m, AlphaConnectivity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDistributed(b *testing.B) {
+	m := benchModel()
+	pos := workload.Uniform(workload.Rand(10), 50, 1500, 1500)
+	cfg := proto.Config{Alpha: AlphaConnectivity}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := netsim.DefaultOptions(m)
+		opts.Seed = uint64(i)
+		if _, _, err := proto.RunCBTC(pos, opts, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation X2: how many edges each pairwise policy removes and at what
+// cost. Run with -bench PairwisePolicy -benchtime 1x to see the
+// reported removal counts.
+func BenchmarkPairwisePolicy(b *testing.B) {
+	m := benchModel()
+	exec, err := core.Run(benchNetwork, m, AlphaConnectivity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := core.BuildTopology(exec, core.Options{ShrinkBack: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := core.MaxPowerGraph(benchNetwork, m)
+	policies := []core.PairwisePolicy{
+		core.PairwiseLengthFiltered,
+		core.PairwiseRemoveAll,
+		core.PairwiseEitherEndpoint,
+		core.PairwiseBothEndpoints,
+	}
+	for _, policy := range policies {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var removed int
+			for i := 0; i < b.N; i++ {
+				g, rm := core.PairwiseRemoval(base.G, benchNetwork, policy)
+				if !graph.SamePartition(gr, g) {
+					b.Fatal("policy broke connectivity")
+				}
+				removed = len(rm)
+			}
+			b.ReportMetric(float64(removed), "edges-removed")
+		})
+	}
+}
+
+// Extension X1: empirical stretch factors of the final topology.
+func BenchmarkPowerStretch(b *testing.B) {
+	res, err := Run(benchNetwork, Config{MaxRadius: workload.PaperRadius}.AllOptimizations())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var stretch float64
+	for i := 0; i < b.N; i++ {
+		stretch = res.PowerStretch()
+		if stretch < 1 {
+			b.Fatal("stretch below 1")
+		}
+	}
+	b.ReportMetric(stretch, "power-stretch")
+}
+
+// Ablation: shrink-back tag granularity (exact oracle tags vs protocol
+// power levels), the calibration knob of RunTable1.
+func BenchmarkShrinkGranularity(b *testing.B) {
+	m := benchModel()
+	exec, err := core.Run(benchNetwork, m, AlphaConnectivity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedule, err := radio.Schedule(m.MaxPower()/1024, m.MaxPower(), radio.Doubling())
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := map[string]*core.Execution{
+		"exact-tags":    exec,
+		"doubling-tags": core.QuantizeTags(exec, schedule),
+	}
+	for name, e := range variants {
+		e := e
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var deg float64
+			for i := 0; i < b.N; i++ {
+				topo, err := core.BuildTopology(e, core.Options{ShrinkBack: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				deg = topo.Summarize().AvgDegree
+			}
+			b.ReportMetric(deg, "avg-degree")
+		})
+	}
+}
+
+// Extension X4: the related-work baselines on the paper's workload.
+func BenchmarkBaselines(b *testing.B) {
+	cfg := Config{MaxRadius: workload.PaperRadius}
+	for _, kind := range BaselineKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var deg float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunBaseline(kind, benchNetwork, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.PreservesConnectivity() {
+					b.Fatal("baseline broke connectivity")
+				}
+				deg = res.AvgDegree
+			}
+			b.ReportMetric(deg, "avg-degree")
+		})
+	}
+}
+
+// Interference reduction (the motivation in §1 for fewer, shorter
+// edges).
+func BenchmarkInterference(b *testing.B) {
+	res, err := Run(benchNetwork, Config{MaxRadius: workload.PaperRadius}.AllOptimizations())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		avg = res.AvgInterference()
+	}
+	b.ReportMetric(avg, "avg-interference")
+}
+
+// Extension X5: total transmission energy of the distributed growing
+// phase, per cone angle (§5: the wider cone terminates sooner).
+func BenchmarkGrowingPhaseEnergy(b *testing.B) {
+	m := benchModel()
+	pos := workload.Uniform(workload.Rand(5), 40, 1500, 1500)
+	for _, tc := range []struct {
+		name  string
+		alpha float64
+	}{
+		{"alpha=5pi6", AlphaConnectivity},
+		{"alpha=2pi3", AlphaAsymmetric},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				_, rt, err := proto.RunCBTC(pos, netsim.DefaultOptions(m), proto.Config{Alpha: tc.alpha})
+				if err != nil {
+					b.Fatal(err)
+				}
+				energy = rt.Sim.TotalEnergy()
+			}
+			b.ReportMetric(energy, "total-energy")
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,245 @@
+// Package cbtc is a library implementation of the cone-based distributed
+// topology control algorithm (CBTC) analyzed in:
+//
+//	Li Li, Joseph Y. Halpern, Paramvir Bahl, Yi-Min Wang, Roger
+//	Wattenhofer. "Analysis of a Cone-Based Distributed Topology Control
+//	Algorithm for Wireless Multi-hop Networks." PODC 2001.
+//
+// CBTC(α) lets every node of a wireless multi-hop network find the
+// minimum transmission power such that every cone of degree α around it
+// contains a reachable neighbor, using only directional (angle-of-
+// arrival) information — no GPS. The paper proves α = 5π/6 is a tight
+// bound for the resulting symmetric graph G_α to preserve the
+// connectivity of the maximum-power graph G_R, and adds three
+// power-reducing optimizations that keep the guarantee.
+//
+// The package offers two executors with one output type:
+//
+//   - Run computes the topology under the exact minimal-power semantics
+//     of the paper's analysis (fast, deterministic; what the evaluation
+//     harness uses).
+//   - Simulate runs the actual distributed Hello/Ack protocol of the
+//     paper's Figure 1 over a discrete-event radio simulator, supporting
+//     lossy channels and angle-of-arrival noise.
+//
+// Both return a Result carrying the final graph and the per-node power
+// assignment, plus the metrics the paper's Table 1 reports.
+package cbtc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cbtc/internal/core"
+	"cbtc/internal/geom"
+	"cbtc/internal/graph"
+	"cbtc/internal/netsim"
+	"cbtc/internal/proto"
+	"cbtc/internal/radio"
+)
+
+// Point is a node position in the plane.
+type Point = geom.Point
+
+// Graph is an undirected topology over node indices.
+type Graph = graph.Graph
+
+// Edge is an undirected edge between node indices.
+type Edge = graph.Edge
+
+// The two cone angles the paper analyzes.
+const (
+	// AlphaConnectivity = 5π/6: the tight bound of Theorems 2.1/2.4.
+	AlphaConnectivity = core.AlphaConnectivity
+	// AlphaAsymmetric = 2π/3: the largest angle admitting asymmetric
+	// edge removal (Theorem 3.2).
+	AlphaAsymmetric = core.AlphaAsymmetric
+)
+
+// ErrBadConfig reports an invalid Config.
+var ErrBadConfig = errors.New("cbtc: invalid config")
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Config selects the cone angle, the radio model, and the optimization
+// stack. The zero value is not valid: MaxRadius must be positive.
+type Config struct {
+	// Alpha is the cone angle in radians. Zero means AlphaConnectivity
+	// (5π/6). Must be in (0, 2π]; connectivity is only guaranteed for
+	// Alpha ≤ 5π/6.
+	Alpha float64
+	// MaxRadius is R: the distance reachable at maximum power. Required.
+	MaxRadius float64
+	// PathLossExponent is the power-law exponent n in p(d) = d^n.
+	// Zero means 2 (free space).
+	PathLossExponent float64
+
+	// ShrinkBack enables optimization 1 (§3.1).
+	ShrinkBack bool
+	// AsymmetricRemoval enables optimization 2 (§3.2); requires
+	// Alpha ≤ 2π/3.
+	AsymmetricRemoval bool
+	// PairwiseRemoval enables optimization 3 (§3.3) with the paper's
+	// length-filtered policy.
+	PairwiseRemoval bool
+	// RemoveAllRedundant switches PairwiseRemoval to delete every
+	// redundant edge (the full Theorem 3.6 setting) instead of only
+	// power-relevant ones.
+	RemoveAllRedundant bool
+}
+
+// AllOptimizations returns cfg with every optimization applicable at its
+// cone angle enabled — the paper's "with all opt" configuration.
+func (c Config) AllOptimizations() Config {
+	c.ShrinkBack = true
+	c.PairwiseRemoval = true
+	alpha := c.Alpha
+	if alpha == 0 {
+		alpha = AlphaConnectivity
+	}
+	c.AsymmetricRemoval = alpha <= AlphaAsymmetric+1e-9
+	return c
+}
+
+func (c Config) resolve() (Config, radio.Model, core.Options, error) {
+	if c.Alpha == 0 {
+		c.Alpha = AlphaConnectivity
+	}
+	if c.PathLossExponent == 0 {
+		c.PathLossExponent = radio.FreeSpaceExponent
+	}
+	if math.IsNaN(c.Alpha) || c.Alpha <= 0 || c.Alpha > 2*math.Pi {
+		return c, radio.Model{}, core.Options{}, fmt.Errorf("%w: alpha %v not in (0, 2π]", ErrBadConfig, c.Alpha)
+	}
+	m, err := radio.NewModel(c.PathLossExponent, c.MaxRadius, 1)
+	if err != nil {
+		return c, radio.Model{}, core.Options{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	opts := core.Options{
+		ShrinkBack:        c.ShrinkBack,
+		AsymmetricRemoval: c.AsymmetricRemoval,
+		PairwiseRemoval:   c.PairwiseRemoval,
+	}
+	if c.RemoveAllRedundant {
+		opts.PairwisePolicy = core.PairwiseRemoveAll
+	}
+	if err := opts.Validate(c.Alpha); err != nil {
+		return c, radio.Model{}, core.Options{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return c, m, opts, nil
+}
+
+// Run executes CBTC(α) on the placement under the exact minimal-power
+// semantics of the paper's analysis and applies the configured
+// optimization stack.
+func Run(nodes []Point, cfg Config) (*Result, error) {
+	cfg, m, opts, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := core.Run(nodes, m, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := core.BuildTopology(exec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(nodes, m, topo), nil
+}
+
+// SimOptions configures the distributed execution of Simulate.
+type SimOptions struct {
+	// Seed drives all simulator randomness. Same seed, same run.
+	Seed uint64
+	// Latency is the per-message delay; zero means 1 time unit.
+	Latency float64
+	// Jitter adds uniform random delay in [0, Jitter).
+	Jitter float64
+	// DropProb drops each delivery with this probability.
+	DropProb float64
+	// DupProb duplicates each delivery with this probability.
+	DupProb float64
+	// AoANoise is the bearing measurement noise (radians, std dev).
+	AoANoise float64
+	// InitialPower is p₀ of the growing phase; zero means MaxPower/1024.
+	InitialPower float64
+	// IncreaseFactor is the power growth multiplier per round; zero
+	// means 2 (the paper's doubling).
+	IncreaseFactor float64
+}
+
+// Simulate runs the distributed Hello/Ack protocol of the paper's
+// Figure 1 on a discrete-event radio simulator and applies the
+// configured optimization stack to the outcome. Nodes act only on
+// message powers and measured angles, exactly as the paper assumes.
+func Simulate(nodes []Point, cfg Config, sim SimOptions) (*Result, error) {
+	cfg, m, opts, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	simOpts := netsim.Options{
+		Model:    m,
+		Latency:  sim.Latency,
+		Jitter:   sim.Jitter,
+		DropProb: sim.DropProb,
+		DupProb:  sim.DupProb,
+		AoANoise: sim.AoANoise,
+		Seed:     sim.Seed,
+	}
+	if simOpts.Latency == 0 {
+		simOpts.Latency = 1
+	}
+	pcfg := proto.Config{
+		Alpha:       cfg.Alpha,
+		P0:          sim.InitialPower,
+		AsymRemoval: cfg.AsymmetricRemoval,
+	}
+	if sim.IncreaseFactor != 0 {
+		inc, err := radio.Multiplicative(sim.IncreaseFactor)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		pcfg.Increase = inc
+	}
+	exec, _, err := proto.RunCBTC(nodes, simOpts, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := core.BuildTopology(exec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(nodes, m, topo), nil
+}
+
+// MaxPowerTopology returns the Result of using no topology control at
+// all: every node transmits at maximum power (the paper's baseline
+// column in Table 1).
+func MaxPowerTopology(nodes []Point, cfg Config) (*Result, error) {
+	cfg, m, _, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	gr := core.MaxPowerGraph(nodes, m)
+	radii := make([]float64, len(nodes))
+	powers := make([]float64, len(nodes))
+	boundary := make([]bool, len(nodes))
+	for i := range nodes {
+		radii[i] = m.MaxRadius // the baseline transmits at R regardless
+		powers[i] = m.MaxPower()
+	}
+	return &Result{
+		G:         gr,
+		GR:        gr,
+		Pos:       append([]Point(nil), nodes...),
+		Radii:     radii,
+		Powers:    powers,
+		Boundary:  boundary,
+		AvgDegree: graph.AvgDegree(gr),
+		AvgRadius: m.MaxRadius,
+		model:     m,
+	}, nil
+}

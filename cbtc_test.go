@@ -1,0 +1,284 @@
+package cbtc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cbtc/internal/workload"
+)
+
+func paperConfig() Config { return Config{MaxRadius: workload.PaperRadius} }
+
+func someNetwork(seed uint64, n int) []Point {
+	return workload.Uniform(workload.Rand(seed), n, 1500, 1500)
+}
+
+func TestRunDefaults(t *testing.T) {
+	nodes := someNetwork(1, 60)
+	res, err := Run(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G.Len() != 60 || len(res.Radii) != 60 || len(res.Powers) != 60 {
+		t.Fatalf("result shape wrong")
+	}
+	if !res.PreservesConnectivity() {
+		t.Errorf("default α=5π/6 must preserve connectivity")
+	}
+	if !res.G.IsSubgraphOf(res.GR) {
+		t.Errorf("G must be a subgraph of GR")
+	}
+	if res.AvgDegree <= 0 || res.AvgRadius <= 0 {
+		t.Errorf("empty metrics: %+v", res)
+	}
+	for u, r := range res.Radii {
+		if r > workload.PaperRadius*(1+1e-9) {
+			t.Errorf("node %d radius %v exceeds R", u, r)
+		}
+		if res.Powers[u] <= 0 || res.Powers[u] > res.PowerCost(workload.PaperRadius)*(1+1e-9) {
+			t.Errorf("node %d power %v out of range", u, res.Powers[u])
+		}
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	nodes := someNetwork(2, 10)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero radius", Config{}},
+		{"negative radius", Config{MaxRadius: -5}},
+		{"alpha too big", Config{MaxRadius: 500, Alpha: 7}},
+		{"nan alpha", Config{MaxRadius: 500, Alpha: math.NaN()}},
+		{"asym above 2π/3", Config{MaxRadius: 500, Alpha: AlphaConnectivity, AsymmetricRemoval: true}},
+		{"bad exponent", Config{MaxRadius: 500, PathLossExponent: 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(nodes, tt.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("Run error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestAllOptimizations(t *testing.T) {
+	cfg := paperConfig().AllOptimizations()
+	if !cfg.ShrinkBack || !cfg.PairwiseRemoval {
+		t.Errorf("AllOptimizations must enable op1 and op3")
+	}
+	if cfg.AsymmetricRemoval {
+		t.Errorf("asym removal must stay off at the default α=5π/6")
+	}
+	cfg23 := Config{MaxRadius: 500, Alpha: AlphaAsymmetric}.AllOptimizations()
+	if !cfg23.AsymmetricRemoval {
+		t.Errorf("asym removal must be on at α=2π/3")
+	}
+	if _, err := Run(someNetwork(3, 40), cfg); err != nil {
+		t.Errorf("all-optimizations run failed: %v", err)
+	}
+}
+
+func TestOptimizationsReducePower(t *testing.T) {
+	nodes := someNetwork(4, 80)
+	basic, err := Run(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(nodes, paperConfig().AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.AvgRadius >= basic.AvgRadius {
+		t.Errorf("optimizations must reduce average radius: %v >= %v", full.AvgRadius, basic.AvgRadius)
+	}
+	if full.AvgDegree >= basic.AvgDegree {
+		t.Errorf("optimizations must reduce average degree: %v >= %v", full.AvgDegree, basic.AvgDegree)
+	}
+	if !full.PreservesConnectivity() {
+		t.Errorf("optimized topology must preserve connectivity")
+	}
+}
+
+func TestMaxPowerTopology(t *testing.T) {
+	nodes := someNetwork(5, 50)
+	res, err := MaxPowerTopology(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.G.Equal(res.GR) {
+		t.Errorf("baseline topology must be GR itself")
+	}
+	if res.AvgRadius != workload.PaperRadius {
+		t.Errorf("baseline radius = %v, want R", res.AvgRadius)
+	}
+	if res.BeaconPower(0) != res.PowerCost(workload.PaperRadius) {
+		t.Errorf("baseline beacon power must be max power")
+	}
+	if res.BoundaryCount() != 0 {
+		t.Errorf("baseline has no boundary concept")
+	}
+}
+
+func TestSimulateMatchesRunShape(t *testing.T) {
+	nodes := someNetwork(6, 35)
+	ran, err := Run(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(nodes, paperConfig(), SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.PreservesConnectivity() {
+		t.Errorf("simulated topology must preserve connectivity")
+	}
+	// The protocol discovers a superset: every oracle edge is present.
+	if !ran.G.IsSubgraphOf(sim.G) {
+		t.Errorf("oracle topology must be contained in the simulated one")
+	}
+	for u := range nodes {
+		if sim.Powers[u] < ran.Powers[u]-1e-6 {
+			t.Errorf("node %d: simulated power below the oracle minimum", u)
+		}
+	}
+}
+
+func TestSimulateFineSchedule(t *testing.T) {
+	nodes := someNetwork(7, 30)
+	sim, err := Simulate(nodes, paperConfig(), SimOptions{Seed: 2, IncreaseFactor: 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := Run(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range nodes {
+		if sim.Powers[u] > ran.Powers[u]*1.051 && sim.Powers[u] > sim.PowerCost(500)/1024*1.051 {
+			t.Errorf("node %d: fine-schedule power %v too far above oracle %v",
+				u, sim.Powers[u], ran.Powers[u])
+		}
+	}
+}
+
+func TestSimulateLossyStillConnected(t *testing.T) {
+	nodes := someNetwork(8, 30)
+	sim, err := Simulate(nodes, paperConfig(), SimOptions{
+		Seed:     3,
+		Jitter:   0.5,
+		DupProb:  0.1,
+		AoANoise: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.PreservesConnectivity() {
+		t.Errorf("jitter/duplication/noise must not break connectivity")
+	}
+}
+
+func TestSimulateBadIncrease(t *testing.T) {
+	if _, err := Simulate(someNetwork(9, 5), paperConfig(), SimOptions{IncreaseFactor: 0.5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestStretchMetrics(t *testing.T) {
+	nodes := someNetwork(10, 50)
+	res, err := Run(nodes, paperConfig().AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, ds, hs := res.PowerStretch(), res.DistanceStretch(), res.HopStretch()
+	if math.IsInf(ps, 1) || math.IsInf(ds, 1) || math.IsInf(hs, 1) {
+		t.Fatalf("stretch infinite despite preserved connectivity: %v %v %v", ps, ds, hs)
+	}
+	for name, v := range map[string]float64{"power": ps, "distance": ds, "hop": hs} {
+		if v < 1 {
+			t.Errorf("%s stretch %v below 1", name, v)
+		}
+	}
+	// Subgraph routes can't be shorter, and removing edges can't help
+	// the baseline: identity case.
+	self, err := MaxPowerTopology(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := self.PowerStretch(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("baseline power stretch = %v, want 1", got)
+	}
+}
+
+func TestRemovedRedundantReporting(t *testing.T) {
+	nodes := someNetwork(11, 80)
+	res, err := Run(nodes, paperConfig().AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := res.RemovedRedundant()
+	if len(removed) == 0 {
+		t.Errorf("a dense network must yield removed redundant edges")
+	}
+	for _, e := range removed {
+		if res.G.HasEdge(e.U, e.V) {
+			t.Errorf("removed edge %v still present", e)
+		}
+	}
+	basic, err := Run(nodes, paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basic.RemovedRedundant()) != 0 {
+		t.Errorf("basic run must not remove redundant edges")
+	}
+}
+
+func TestBeaconPowerPublicAPI(t *testing.T) {
+	nodes := someNetwork(12, 60)
+	res, err := Run(nodes, paperConfig().AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxP := res.PowerCost(workload.PaperRadius)
+	for u := range nodes {
+		bp := res.BeaconPower(u)
+		if bp <= 0 || bp > maxP*(1+1e-9) {
+			t.Errorf("node %d beacon power %v out of (0, P]", u, bp)
+		}
+		if res.Boundary[u] && bp < maxP*(1-1e-9) {
+			t.Errorf("boundary node %d must beacon at max power under shrink-back", u)
+		}
+	}
+}
+
+func TestPtHelper(t *testing.T) {
+	p := Pt(3, 4)
+	if p.X != 3 || p.Y != 4 {
+		t.Errorf("Pt = %v", p)
+	}
+}
+
+func TestSimulateWithAsymmetricRemoval(t *testing.T) {
+	nodes := someNetwork(14, 30)
+	cfg := Config{MaxRadius: 500, Alpha: AlphaAsymmetric, AsymmetricRemoval: true, ShrinkBack: true}
+	sim, err := Simulate(nodes, cfg, SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.PreservesConnectivity() {
+		t.Errorf("simulated asymmetric removal must preserve connectivity")
+	}
+	// The mutual graph is a subgraph of what the closure would give.
+	closureCfg := cfg
+	closureCfg.AsymmetricRemoval = false
+	closure, err := Simulate(nodes, closureCfg, SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.G.IsSubgraphOf(closure.G) {
+		t.Errorf("E⁻_α must be a subgraph of E_α")
+	}
+}

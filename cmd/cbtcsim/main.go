@@ -1,0 +1,162 @@
+// Command cbtcsim runs cone-based topology control on one network and
+// reports the resulting topology.
+//
+// Two execution modes are available: "oracle" computes the exact
+// minimal-power outcome of the paper's analysis; "sim" runs the actual
+// distributed Hello/Ack protocol of the paper's Figure 1 on a
+// discrete-event radio simulator (optionally with loss, duplication,
+// delivery jitter and angle-of-arrival noise).
+//
+// Usage:
+//
+//	cbtcsim [-n 100] [-width 1500] [-height 1500] [-radius 500]
+//	        [-alpha 2.618] [-seed 1] [-mode oracle|sim]
+//	        [-shrink] [-asym] [-pairwise] [-all]
+//	        [-drop 0] [-dup 0] [-jitter 0] [-aoa-noise 0]
+//	        [-edges] [-svg out.svg]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cbtc"
+	"cbtc/internal/stats"
+	"cbtc/internal/svgplot"
+	"cbtc/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of nodes")
+	width := flag.Float64("width", 1500, "region width")
+	height := flag.Float64("height", 1500, "region height")
+	radius := flag.Float64("radius", 500, "maximum transmission radius R")
+	alpha := flag.Float64("alpha", cbtc.AlphaConnectivity, "cone angle α in radians")
+	seed := flag.Uint64("seed", 1, "random seed")
+	mode := flag.String("mode", "oracle", "execution mode: oracle | sim")
+	shrink := flag.Bool("shrink", false, "enable shrink-back (op1)")
+	asym := flag.Bool("asym", false, "enable asymmetric edge removal (op2, needs α ≤ 2π/3)")
+	pairwise := flag.Bool("pairwise", false, "enable pairwise edge removal (op3)")
+	all := flag.Bool("all", false, "enable all optimizations applicable at α")
+	drop := flag.Float64("drop", 0, "message drop probability (sim mode)")
+	dup := flag.Float64("dup", 0, "message duplication probability (sim mode)")
+	jitter := flag.Float64("jitter", 0, "delivery jitter (sim mode)")
+	aoaNoise := flag.Float64("aoa-noise", 0, "angle-of-arrival noise std dev in radians (sim mode)")
+	edges := flag.Bool("edges", false, "print the final edge list")
+	svgOut := flag.String("svg", "", "write the topology as SVG to this file")
+	jsonOut := flag.Bool("json", false, "emit the result summary as JSON")
+	flag.Parse()
+
+	nodes := workload.Uniform(workload.Rand(*seed), *n, *width, *height)
+	cfg := cbtc.Config{
+		Alpha:             *alpha,
+		MaxRadius:         *radius,
+		ShrinkBack:        *shrink,
+		AsymmetricRemoval: *asym,
+		PairwiseRemoval:   *pairwise,
+	}
+	if *all {
+		cfg = cfg.AllOptimizations()
+	}
+
+	var res *cbtc.Result
+	var err error
+	switch *mode {
+	case "oracle":
+		res, err = cbtc.Run(nodes, cfg)
+	case "sim":
+		res, err = cbtc.Simulate(nodes, cfg, cbtc.SimOptions{
+			Seed:     *seed,
+			DropProb: *drop,
+			DupProb:  *dup,
+			Jitter:   *jitter,
+			AoANoise: *aoaNoise,
+		})
+	default:
+		err = fmt.Errorf("unknown mode %q (want oracle or sim)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbtcsim:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		type edgeJSON struct {
+			U, V int
+			Dist float64
+		}
+		out := struct {
+			Alpha         float64    `json:"alpha"`
+			Nodes         int        `json:"nodes"`
+			MaxRadius     float64    `json:"maxRadius"`
+			Mode          string     `json:"mode"`
+			EdgesGR       int        `json:"edgesGR"`
+			EdgesG        int        `json:"edgesG"`
+			AvgDegree     float64    `json:"avgDegree"`
+			AvgRadius     float64    `json:"avgRadius"`
+			Components    int        `json:"components"`
+			Connected     bool       `json:"connectivityPreserved"`
+			BoundaryNodes int        `json:"boundaryNodes"`
+			Radii         []float64  `json:"radii"`
+			Edges         []edgeJSON `json:"edges,omitempty"`
+		}{
+			Alpha:         *alpha,
+			Nodes:         *n,
+			MaxRadius:     *radius,
+			Mode:          *mode,
+			EdgesGR:       res.GR.EdgeCount(),
+			EdgesG:        res.G.EdgeCount(),
+			AvgDegree:     res.AvgDegree,
+			AvgRadius:     res.AvgRadius,
+			Components:    res.Components(),
+			Connected:     res.PreservesConnectivity(),
+			BoundaryNodes: res.BoundaryCount(),
+			Radii:         res.Radii,
+		}
+		if *edges {
+			for _, e := range res.G.Edges() {
+				out.Edges = append(out.Edges, edgeJSON{U: e.U, V: e.V, Dist: res.Pos[e.U].Dist(res.Pos[e.V])})
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "cbtcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("CBTC(α=%.4f rad = %.1f°), %d nodes, %gx%g region, R=%g, mode=%s\n\n",
+		*alpha, *alpha*180/math.Pi, *n, *width, *height, *radius, *mode)
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("edges (G_R)", fmt.Sprint(res.GR.EdgeCount()))
+	tb.AddRow("edges (G_α)", fmt.Sprint(res.G.EdgeCount()))
+	tb.AddRow("avg degree", stats.F(res.AvgDegree, 2))
+	tb.AddRow("avg radius", stats.F(res.AvgRadius, 1))
+	tb.AddRow("components", fmt.Sprint(res.Components()))
+	tb.AddRow("connectivity preserved", fmt.Sprint(res.PreservesConnectivity()))
+	tb.AddRow("boundary nodes", fmt.Sprint(res.BoundaryCount()))
+	tb.AddRow("removed redundant edges", fmt.Sprint(len(res.RemovedRedundant())))
+	fmt.Print(tb.String())
+
+	if *edges {
+		fmt.Println("\nedges:")
+		for _, e := range res.G.Edges() {
+			fmt.Printf("  %d - %d  (%.1f)\n", e.U, e.V, res.Pos[e.U].Dist(res.Pos[e.V]))
+		}
+	}
+	if *svgOut != "" {
+		svg := svgplot.Render(res.G, res.Pos, svgplot.Style{
+			Title: fmt.Sprintf("CBTC α=%.3f, %d nodes", *alpha, *n),
+		})
+		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cbtcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *svgOut)
+	}
+}

@@ -1,0 +1,99 @@
+// Command counterexample numerically verifies the two adversarial
+// constructions of the paper:
+//
+//   - Example 2.1 (Figure 2): for 2π/3 < α ≤ 5π/6 the neighbor relation
+//     N_α is not symmetric — v discovers u0 but u0 never reaches v.
+//   - Theorem 2.4 (Figure 5): for α = 5π/6 + ε the graph G_α loses the
+//     only bridge between two clusters and disconnects, even though G_R
+//     is connected. At α = 5π/6 exactly, the same placement stays
+//     connected: the bound is tight.
+//
+// Usage:
+//
+//	counterexample [-eps 0.1] [-radius 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cbtc/internal/core"
+	"cbtc/internal/graph"
+	"cbtc/internal/radio"
+	"cbtc/internal/workload"
+)
+
+func main() {
+	eps := flag.Float64("eps", 0.1, "ε for Figure 5 (α = 5π/6 + ε); also sets Example 2.1's α = 2π/3 + 2ε")
+	radius := flag.Float64("radius", 500, "maximum transmission radius R")
+	flag.Parse()
+
+	m := radio.Default(*radius)
+	ok := true
+	ok = example21(m, 2*math.Pi/3+2**eps) && ok
+	ok = figure5(m, *eps) && ok
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func example21(m radio.Model, alpha float64) bool {
+	fmt.Printf("=== Example 2.1: asymmetry of N_α (α = %.4f rad = %.1f°) ===\n",
+		alpha, alpha*180/math.Pi)
+	pos, err := workload.Example21(alpha, m.MaxRadius)
+	if err != nil {
+		fmt.Println("construction failed:", err)
+		return false
+	}
+	exec, err := core.Run(pos, m, alpha)
+	if err != nil {
+		fmt.Println("CBTC failed:", err)
+		return false
+	}
+	n := exec.Nalpha()
+	const u0, v = 0, 4
+	fmt.Printf("  N_α(u0) = %v   (paper: [u1 u2 u3])\n", n.Successors(u0))
+	fmt.Printf("  N_α(v)  = %v   (paper: [u0])\n", n.Successors(v))
+	asymmetric := n.HasArc(v, u0) && !n.HasArc(u0, v)
+	fmt.Printf("  (v,u0) ∈ N_α and (u0,v) ∉ N_α: %v\n", asymmetric)
+	closureConnected := graph.IsConnected(n.SymmetricClosure())
+	fmt.Printf("  symmetric closure connected: %v\n\n", closureConnected)
+	return asymmetric && closureConnected
+}
+
+func figure5(m radio.Model, eps float64) bool {
+	alpha := core.AlphaConnectivity + eps
+	fmt.Printf("=== Figure 5: disconnection above the 5π/6 bound (ε = %.4f) ===\n", eps)
+	pos, err := workload.Figure5(eps, m.MaxRadius)
+	if err != nil {
+		fmt.Println("construction failed:", err)
+		return false
+	}
+	gr := core.MaxPowerGraph(pos, m)
+	fmt.Printf("  G_R connected: %v (bridge u0-v0 present: %v)\n",
+		graph.IsConnected(gr), gr.HasEdge(0, 4))
+
+	execAbove, err := core.Run(pos, m, alpha)
+	if err != nil {
+		fmt.Println("CBTC failed:", err)
+		return false
+	}
+	gAbove := execAbove.Nalpha().SymmetricClosure()
+	fmt.Printf("  α = 5π/6+ε: components = %d, bridge present: %v  (paper: disconnected)\n",
+		graph.ComponentCount(gAbove), gAbove.HasEdge(0, 4))
+
+	execAt, err := core.Run(pos, m, core.AlphaConnectivity)
+	if err != nil {
+		fmt.Println("CBTC failed:", err)
+		return false
+	}
+	gAt := execAt.Nalpha().SymmetricClosure()
+	fmt.Printf("  α = 5π/6 exactly: components = %d  (bound is tight)\n",
+		graph.ComponentCount(gAt))
+
+	return graph.IsConnected(gr) &&
+		!graph.IsConnected(gAbove) &&
+		graph.IsConnected(gAt)
+}

@@ -1,0 +1,40 @@
+// Command densitysweep demonstrates the scalability argument of the
+// paper's introduction: as deployment density grows, the uncontrolled
+// (max-power) degree explodes linearly while CBTC's degree stays
+// essentially constant and its per-node radius shrinks.
+//
+// Usage:
+//
+//	densitysweep [-networks 10] [-radius 500] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbtc"
+)
+
+func main() {
+	networks := flag.Int("networks", 10, "networks per density")
+	radius := flag.Float64("radius", 500, "maximum transmission radius R")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	rows, err := cbtc.RunDensitySweep(cbtc.DensitySweepParams{
+		Networks:  *networks,
+		MaxRadius: *radius,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "densitysweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("density sweep: 1500x1500 region, R=%g, %d networks per density\n", *radius, *networks)
+	fmt.Println("CBTC = α=5π/6 with shrink-back and pairwise removal")
+	fmt.Println()
+	fmt.Print(cbtc.RenderDensitySweep(rows))
+	fmt.Println("\nMax-power degree grows linearly with density; CBTC's stays flat —")
+	fmt.Println("the reason topology control scales to dense deployments.")
+}

@@ -1,0 +1,54 @@
+package cbtc_test
+
+import (
+	"fmt"
+
+	"cbtc"
+)
+
+// Build a topology with the paper's tight connectivity bound and all
+// optimizations.
+func ExampleRun() {
+	nodes := []cbtc.Point{
+		cbtc.Pt(0, 0), cbtc.Pt(300, 0), cbtc.Pt(150, 250), cbtc.Pt(450, 200),
+	}
+	cfg := cbtc.Config{MaxRadius: 400}.AllOptimizations()
+	res, err := cbtc.Run(nodes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", res.G.EdgeCount())
+	fmt.Println("connectivity preserved:", res.PreservesConnectivity())
+	// Output:
+	// edges: 3
+	// connectivity preserved: true
+}
+
+// Compare against a position-based baseline from the related work.
+func ExampleRunBaseline() {
+	nodes := []cbtc.Point{
+		cbtc.Pt(0, 0), cbtc.Pt(100, 0), cbtc.Pt(50, 10),
+	}
+	res, err := cbtc.RunBaseline(cbtc.BaselineRNG, nodes, cbtc.Config{MaxRadius: 400})
+	if err != nil {
+		panic(err)
+	}
+	// The long 0-1 edge has a witness (node 2) and is eliminated.
+	fmt.Println("0-1 present:", res.G.HasEdge(0, 1))
+	fmt.Println("edges:", res.G.EdgeCount())
+	// Output:
+	// 0-1 present: false
+	// edges: 2
+}
+
+// The asymmetric edge removal optimization is guarded by Theorem 3.2's
+// angle bound.
+func ExampleConfig_AllOptimizations() {
+	at23 := cbtc.Config{MaxRadius: 400, Alpha: cbtc.AlphaAsymmetric}.AllOptimizations()
+	at56 := cbtc.Config{MaxRadius: 400, Alpha: cbtc.AlphaConnectivity}.AllOptimizations()
+	fmt.Println("asym removal at 2π/3:", at23.AsymmetricRemoval)
+	fmt.Println("asym removal at 5π/6:", at56.AsymmetricRemoval)
+	// Output:
+	// asym removal at 2π/3: true
+	// asym removal at 5π/6: false
+}

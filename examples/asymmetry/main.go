@@ -1,0 +1,67 @@
+// Asymmetry: a walkthrough of Example 2.1 (Figure 2 of the paper) — why
+// CBTC's neighbor relation needs a symmetric closure for α > 2π/3, and
+// why asymmetric edge removal is only safe up to 2π/3.
+//
+//	go run ./examples/asymmetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cbtc"
+	"cbtc/internal/workload"
+)
+
+func main() {
+	const r = 500.0
+	alpha := 2*math.Pi/3 + 0.2 // ε = 0.1 in the paper's construction
+
+	// The five-node configuration of Figure 2: u0 with v at distance
+	// exactly R, u1/u2 placed at angle α/2 so they cover v's direction
+	// from u0's perspective, and u3 behind u0.
+	nodes, err := workload.Example21(alpha, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"u0", "u1", "u2", "u3", "v"}
+
+	fmt.Printf("Example 2.1 at α = %.3f rad (%.1f°)\n\n", alpha, alpha*180/math.Pi)
+	for i, p := range nodes {
+		fmt.Printf("  %-2s at (%7.1f, %7.1f), d(u0,·) = %.1f\n",
+			names[i], p.X, p.Y, nodes[0].Dist(p))
+	}
+
+	res, err := cbtc.Run(nodes, cbtc.Config{Alpha: alpha, MaxRadius: r})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-node outcome of CBTC(α):")
+	for i := range nodes {
+		fmt.Printf("  %-2s: radius %6.1f, boundary=%v\n", names[i], res.Radii[i], res.Boundary[i])
+	}
+
+	fmt.Println("\nthe asymmetry:")
+	fmt.Printf("  v  reaches u0 only at max power, so (v,u0) ∈ N_α\n")
+	fmt.Printf("  u0 stops growing once u1,u2,u3 cover every cone — before reaching v\n")
+	fmt.Printf("  G_α keeps the edge anyway (symmetric closure): u0-v present = %v\n",
+		res.G.HasEdge(0, 4))
+	fmt.Printf("  connectivity preserved: %v\n", res.PreservesConnectivity())
+
+	// At this α the library refuses to drop asymmetric edges: doing so
+	// would disconnect v. The guard is the point of Theorem 3.2's 2π/3
+	// bound.
+	_, err = cbtc.Run(nodes, cbtc.Config{Alpha: alpha, MaxRadius: r, AsymmetricRemoval: true})
+	fmt.Printf("\nasymmetric removal at α > 2π/3 rejected: %v\n", err != nil)
+
+	// At α = 2π/3 the relation is "symmetric enough": the largest
+	// mutual subgraph already preserves connectivity (Theorem 3.2).
+	res23, err := cbtc.Run(nodes, cbtc.Config{Alpha: cbtc.AlphaAsymmetric, MaxRadius: r, AsymmetricRemoval: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at α = 2π/3 with asymmetric removal: connected = %v\n",
+		res23.PreservesConnectivity())
+}

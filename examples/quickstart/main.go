@@ -1,0 +1,58 @@
+// Quickstart: run cone-based topology control on a small ad-hoc network
+// and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbtc"
+)
+
+func main() {
+	// A hand-placed 10-node ad-hoc network in a 1000x1000 field.
+	// Distances are meters; radios reach 400m at maximum power.
+	nodes := []cbtc.Point{
+		cbtc.Pt(100, 100), cbtc.Pt(350, 120), cbtc.Pt(600, 80),
+		cbtc.Pt(150, 400), cbtc.Pt(420, 380), cbtc.Pt(700, 420),
+		cbtc.Pt(120, 700), cbtc.Pt(400, 650), cbtc.Pt(680, 720),
+		cbtc.Pt(900, 500),
+	}
+
+	// CBTC with the paper's tight connectivity bound α = 5π/6 and all
+	// applicable optimizations.
+	cfg := cbtc.Config{
+		Alpha:     cbtc.AlphaConnectivity,
+		MaxRadius: 400,
+	}.AllOptimizations()
+
+	res, err := cbtc.Run(nodes, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cone-based topology control, α = 5π/6")
+	fmt.Printf("  max-power graph: %d edges\n", res.GR.EdgeCount())
+	fmt.Printf("  controlled topology: %d edges\n", res.G.EdgeCount())
+	fmt.Printf("  connectivity preserved: %v\n", res.PreservesConnectivity())
+	fmt.Printf("  average degree: %.2f (was %.2f)\n",
+		res.AvgDegree, 2*float64(res.GR.EdgeCount())/float64(len(nodes)))
+	fmt.Printf("  average radius: %.1f m (was %.1f m)\n\n", res.AvgRadius, 400.0)
+
+	fmt.Println("per-node power assignment:")
+	for u := range nodes {
+		marker := ""
+		if res.Boundary[u] {
+			marker = "  (boundary node)"
+		}
+		fmt.Printf("  node %d: radius %6.1f m, tx power %10.0f, neighbors %v%s\n",
+			u, res.Radii[u], res.PowerCost(res.Radii[u]), res.G.Neighbors(u), marker)
+	}
+
+	fmt.Println("\nroute quality versus the max-power graph:")
+	fmt.Printf("  power stretch:    %.3f\n", res.PowerStretch())
+	fmt.Printf("  distance stretch: %.3f\n", res.DistanceStretch())
+	fmt.Printf("  hop stretch:      %.3f\n", res.HopStretch())
+}

@@ -1,0 +1,215 @@
+// Package baseline implements the position-based topology-control
+// comparators the paper's related-work section cites: the relative
+// neighborhood graph (Toussaint [15]), the Gabriel graph ([5]), the
+// Yao/θ-graph ([3,7] — the position-based cousin of the cone idea), and
+// the minimum-maximum-radius assignment in the spirit of Ramanathan &
+// Rosales-Hain [12]. All constructions are restricted to the
+// maximum-power graph G_R: only pairs within radius r are considered.
+//
+// Unlike CBTC, every baseline here requires exact position information —
+// reproducing the paper's argument that CBTC achieves comparable
+// topologies from directional measurements alone.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/graph"
+)
+
+// RNG returns the relative neighborhood graph over G_R: the edge {u,v}
+// (d(u,v) ≤ r) survives iff no witness w is strictly closer to both
+// endpoints than they are to each other. The RNG contains the Euclidean
+// MST of every component, so it preserves G_R's connectivity.
+func RNG(pos []geom.Point, r float64) *graph.Graph {
+	n := len(pos)
+	g := graph.New(n)
+	r2 := r * r
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d2 := pos[u].Dist2(pos[v])
+			if d2 > r2*(1+1e-12) {
+				continue
+			}
+			witness := false
+			for w := 0; w < n; w++ {
+				if w == u || w == v {
+					continue
+				}
+				if pos[w].Dist2(pos[u]) < d2 && pos[w].Dist2(pos[v]) < d2 {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Gabriel returns the Gabriel graph over G_R: the edge {u,v} survives
+// iff no other node lies strictly inside the circle having uv as its
+// diameter. RNG ⊆ Gabriel ⊆ G_R.
+func Gabriel(pos []geom.Point, r float64) *graph.Graph {
+	n := len(pos)
+	g := graph.New(n)
+	r2 := r * r
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d2 := pos[u].Dist2(pos[v])
+			if d2 > r2*(1+1e-12) {
+				continue
+			}
+			center := pos[u].Midpoint(pos[v])
+			rad2 := d2 / 4
+			inside := false
+			for w := 0; w < n; w++ {
+				if w == u || w == v {
+					continue
+				}
+				if pos[w].Dist2(center) < rad2 {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Yao returns the Yao (θ-) digraph over G_R with k sectors: each node
+// keeps, in each of k equal angular sectors, a directed edge to its
+// nearest in-range neighbor (ties broken by index). For k ≥ 6 (sector
+// angle ≤ π/3) the symmetric closure preserves G_R's connectivity — the
+// positional analogue of CBTC's cone condition.
+func Yao(pos []geom.Point, r float64, k int) (*graph.Digraph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: Yao needs k ≥ 1 sectors, got %d", k)
+	}
+	n := len(pos)
+	d := graph.NewDigraph(n)
+	sector := geom.TwoPi / float64(k)
+	r2 := r * r
+	best := make([]int, k)
+	bestD2 := make([]float64, k)
+	for u := 0; u < n; u++ {
+		for s := 0; s < k; s++ {
+			best[s] = -1
+			bestD2[s] = math.Inf(1)
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			d2 := pos[u].Dist2(pos[v])
+			if d2 > r2*(1+1e-12) {
+				continue
+			}
+			s := int(pos[u].Bearing(pos[v]) / sector)
+			if s >= k { // bearing can round to exactly 2π
+				s = k - 1
+			}
+			if d2 < bestD2[s] || (d2 == bestD2[s] && v < best[s]) {
+				bestD2[s] = d2
+				best[s] = v
+			}
+		}
+		for s := 0; s < k; s++ {
+			if best[s] >= 0 {
+				d.AddArc(u, best[s])
+			}
+		}
+	}
+	return d, nil
+}
+
+// YaoSymmetric returns the symmetric closure of the Yao digraph.
+func YaoSymmetric(pos []geom.Point, r float64, k int) (*graph.Graph, error) {
+	d, err := Yao(pos, r, k)
+	if err != nil {
+		return nil, err
+	}
+	return d.SymmetricClosure(), nil
+}
+
+// BetaSkeleton returns the lune-based β-skeleton over G_R for β ≥ 1 —
+// the "G_β graphs" family the paper cites alongside the RNG: the edge
+// {u,v} survives iff no other node lies strictly inside the β-lune, the
+// intersection of the two disks of radius β·d(u,v)/2 centered at the
+// points (1-β/2)·u + (β/2)·v and (β/2)·u + (1-β/2)·v. β = 1 is the
+// Gabriel graph; β = 2 is the relative neighborhood graph; the family
+// is edge-monotone decreasing in β.
+func BetaSkeleton(pos []geom.Point, r, beta float64) (*graph.Graph, error) {
+	if beta < 1 {
+		return nil, fmt.Errorf("baseline: lune-based skeleton needs β ≥ 1, got %v", beta)
+	}
+	n := len(pos)
+	g := graph.New(n)
+	r2 := r * r
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d2 := pos[u].Dist2(pos[v])
+			if d2 > r2*(1+1e-12) {
+				continue
+			}
+			lRad := beta * math.Sqrt(d2) / 2
+			c1 := pos[u].Scale(1 - beta/2).Add(pos[v].Scale(beta / 2))
+			c2 := pos[u].Scale(beta / 2).Add(pos[v].Scale(1 - beta/2))
+			inside := false
+			for w := 0; w < n; w++ {
+				if w == u || w == v {
+					continue
+				}
+				if pos[w].Dist(c1) < lRad && pos[w].Dist(c2) < lRad {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// MinMaxRadius assigns each node the smallest radius that keeps the
+// network connected under a common spanning structure — the objective of
+// Ramanathan & Rosales-Hain's centralized algorithm. Each node's radius
+// is its longest incident edge in the Euclidean minimum spanning forest
+// of G_R; the returned graph contains every pair mutually within their
+// assigned radii (which always includes the forest itself).
+func MinMaxRadius(pos []geom.Point, r float64) (*graph.Graph, []float64) {
+	n := len(pos)
+	gr := graph.New(n)
+	r2 := r * r
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if pos[u].Dist2(pos[v]) <= r2*(1+1e-12) {
+				gr.AddEdge(u, v)
+			}
+		}
+	}
+	mst := graph.MST(gr, graph.EuclideanWeight(pos))
+	radii := make([]float64, n)
+	for u := 0; u < n; u++ {
+		radii[u] = graph.NodeRadius(mst, pos, u)
+	}
+	out := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := pos[u].Dist(pos[v])
+			if d <= radii[u]*(1+1e-12) && d <= radii[v]*(1+1e-12) {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out, radii
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/workload"
+)
+
+// Convex-hull vertices are an independent geometric oracle for boundary
+// nodes: a hull vertex has an empty outward half-plane, so its direction
+// set always leaves a gap of at least π > 5π/6 — CBTC must classify it
+// as a boundary node no matter how dense the network is.
+func TestHullVerticesAreBoundaryNodes(t *testing.T) {
+	m := defaultModel()
+	for seed := uint64(0); seed < 10; seed++ {
+		pos := workload.Uniform(workload.Rand(seed), 100, 1500, 1500)
+		exec := mustRun(t, pos, m, AlphaConnectivity)
+		for _, v := range geom.ConvexHull(pos) {
+			if !exec.Nodes[v].Boundary {
+				t.Errorf("seed %d: hull vertex %d not classified as boundary", seed, v)
+			}
+		}
+	}
+}
+
+// The converse does not hold in general (an interior node far from its
+// neighbors can be a boundary node too), but in a DENSE placement the
+// boundary set concentrates near the region border. Sanity-check: in a
+// dense network, some interior nodes are non-boundary.
+func TestDenseInteriorHasNonBoundaryNodes(t *testing.T) {
+	m := defaultModel()
+	pos := workload.Uniform(workload.Rand(5), 200, 1500, 1500)
+	exec := mustRun(t, pos, m, AlphaConnectivity)
+	interior := 0
+	for u := range pos {
+		if !exec.Nodes[u].Boundary {
+			interior++
+		}
+	}
+	if interior == 0 {
+		t.Errorf("a 200-node dense network must have interior (non-boundary) nodes")
+	}
+	hull := geom.ConvexHull(pos)
+	boundary := 0
+	for _, nr := range exec.Nodes {
+		if nr.Boundary {
+			boundary++
+		}
+	}
+	if boundary < len(hull) {
+		t.Errorf("boundary count %d below hull size %d (hull ⊆ boundary)", boundary, len(hull))
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/graph"
+	"cbtc/internal/radio"
+)
+
+// distTieTol is the relative tolerance under which two candidate
+// distances are treated as equal. Equidistant nodes become reachable at
+// the same power, so the growing phase discovers them as one group.
+const distTieTol = 1e-12
+
+// Run executes CBTC(α) on every node under the exact minimal-power
+// semantics of the paper's analysis: node u's final power p_{u,α} is the
+// smallest power at which every cone of degree α around u contains a
+// reachable node, capped at the model's maximum power P (u is then a
+// boundary node).
+//
+// Equivalently: u discovers neighbors in increasing distance order
+// (equidistant nodes as one group) and stops at the first prefix whose
+// direction set has no α-gap.
+func Run(pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+	if err := validateInput(pos, m, alpha); err != nil {
+		return nil, err
+	}
+	exec := &Execution{
+		Alpha: alpha,
+		Model: m,
+		Pos:   append([]geom.Point(nil), pos...),
+		Nodes: make([]NodeResult, len(pos)),
+	}
+	for u := range pos {
+		exec.Nodes[u] = runNode(pos, m, alpha, u)
+	}
+	return exec, nil
+}
+
+// candidate is a node reachable at maximum power, ordered by distance.
+type candidate struct {
+	id   int
+	dist float64
+	dir  float64
+}
+
+// runNode computes N_α(u) for a single node.
+func runNode(pos []geom.Point, m radio.Model, alpha float64, u int) NodeResult {
+	cands := reachableCandidates(pos, m, u)
+
+	neighbors := make([]Discovery, 0, len(cands))
+	dirs := make([]float64, 0, len(cands))
+
+	i := 0
+	for i < len(cands) {
+		// Admit the whole group of (approximately) equidistant nodes: they
+		// become reachable at the same power.
+		groupEnd := i + 1
+		for groupEnd < len(cands) && sameDist(cands[groupEnd].dist, cands[i].dist) {
+			groupEnd++
+		}
+		groupDist := cands[groupEnd-1].dist
+		groupPower := m.PowerFor(groupDist)
+		for ; i < groupEnd; i++ {
+			c := cands[i]
+			neighbors = append(neighbors, Discovery{
+				ID:    c.id,
+				Dist:  c.dist,
+				Dir:   c.dir,
+				Power: groupPower,
+			})
+			dirs = append(dirs, c.dir)
+		}
+		if !geom.HasGap(dirs, alpha) {
+			return NodeResult{
+				Neighbors: neighbors,
+				GrowPower: groupPower,
+				Boundary:  false,
+			}
+		}
+	}
+	// Exhausted all reachable nodes with an α-gap remaining: u is a
+	// boundary node and has been broadcasting at maximum power.
+	return NodeResult{
+		Neighbors: neighbors,
+		GrowPower: m.MaxPower(),
+		Boundary:  true,
+	}
+}
+
+// reachableCandidates returns the nodes within communication range R of
+// u, sorted by distance (ties broken by index for determinism).
+func reachableCandidates(pos []geom.Point, m radio.Model, u int) []candidate {
+	r := m.MaxRadius
+	out := make([]candidate, 0, 16)
+	for v, pv := range pos {
+		if v == u {
+			continue
+		}
+		d := pos[u].Dist(pv)
+		if d <= r*(1+distTieTol) {
+			out = append(out, candidate{id: v, dist: d, dir: pos[u].Bearing(pv)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+func sameDist(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return diff <= distTieTol*(1+scale)
+}
+
+// MaxPowerGraph returns G_R: the graph induced by every node transmitting
+// with maximum power, i.e. edges between all pairs at distance ≤ R.
+func MaxPowerGraph(pos []geom.Point, m radio.Model) *graph.Graph {
+	g := graph.New(len(pos))
+	r := m.MaxRadius
+	for u := 0; u < len(pos); u++ {
+		for v := u + 1; v < len(pos); v++ {
+			if pos[u].Dist(pos[v]) <= r*(1+distTieTol) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/graph"
+)
+
+// PairwisePolicy selects which redundant edges the pairwise edge removal
+// optimization (§3.3) actually deletes. Theorem 3.6 proves that removing
+// *all* redundant edges preserves connectivity, so removing any subset is
+// sound; the policies differ in the power/throughput trade-off.
+type PairwisePolicy int
+
+const (
+	// PairwiseLengthFiltered is the paper's practical rule: a node that
+	// detects an incident edge as redundant (it is the apex u of
+	// Definition 3.5) removes it only when the edge is longer than the
+	// longest non-redundant edge incident to that node — shorter
+	// redundant edges do not reduce the node's transmission power but do
+	// help throughput, so they stay.
+	PairwiseLengthFiltered PairwisePolicy = iota + 1
+	// PairwiseRemoveAll removes every redundant edge (the setting of
+	// Theorem 3.6). Used by the degree-minimization ablation.
+	PairwiseRemoveAll
+	// PairwiseEitherEndpoint removes a redundant edge when it is longer
+	// than the longest non-redundant edge at either endpoint, regardless
+	// of which endpoint detected the redundancy. More aggressive than
+	// the paper's rule; kept for the ablation.
+	PairwiseEitherEndpoint
+	// PairwiseBothEndpoints removes a redundant edge only when both
+	// endpoints benefit. More conservative than the paper's rule; kept
+	// for the ablation.
+	PairwiseBothEndpoints
+)
+
+// String implements fmt.Stringer.
+func (p PairwisePolicy) String() string {
+	switch p {
+	case PairwiseLengthFiltered:
+		return "length-filtered"
+	case PairwiseRemoveAll:
+		return "remove-all"
+	case PairwiseEitherEndpoint:
+		return "either-endpoint"
+	case PairwiseBothEndpoints:
+		return "both-endpoints"
+	default:
+		return fmt.Sprintf("PairwisePolicy(%d)", int(p))
+	}
+}
+
+// EdgeID is the paper's lexicographic edge identifier
+// eid(u,v) = (d(u,v), max(ID_u, ID_v), min(ID_u, ID_v)). Node indices
+// serve as the unique node IDs the optimization requires.
+type EdgeID struct {
+	Dist  float64
+	MaxID int
+	MinID int
+}
+
+// edgeID computes eid(u,v) for the placement.
+func edgeID(pos []geom.Point, u, v int) EdgeID {
+	id := EdgeID{Dist: pos[u].Dist(pos[v])}
+	if u > v {
+		id.MaxID, id.MinID = u, v
+	} else {
+		id.MaxID, id.MinID = v, u
+	}
+	return id
+}
+
+// Less orders edge IDs lexicographically.
+func (a EdgeID) Less(b EdgeID) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.MaxID != b.MaxID {
+		return a.MaxID < b.MaxID
+	}
+	return a.MinID < b.MinID
+}
+
+// redundancy records, for every redundant edge, which endpoints detected
+// it (served as the apex u of Definition 3.5).
+type redundancy struct {
+	edges map[graph.Edge]bool
+	// atApex[u] holds the neighbors v for which u detected (u,v) as
+	// redundant.
+	atApex []map[int]bool
+}
+
+// redundantEdges evaluates Definition 3.5 over the whole graph: (u,v) is
+// redundant if u has another neighbor w with ∠vuw < π/3 and
+// eid(u,w) < eid(u,v). The angle comparison is strict (an Eps guard
+// keeps exactly-π/3 configurations non-redundant, as the triangle
+// argument of the proof requires).
+func redundantEdges(g *graph.Graph, pos []geom.Point) redundancy {
+	red := redundancy{
+		edges:  make(map[graph.Edge]bool),
+		atApex: make([]map[int]bool, g.Len()),
+	}
+	const third = math.Pi / 3
+	for u := 0; u < g.Len(); u++ {
+		red.atApex[u] = make(map[int]bool)
+		nbrs := g.Neighbors(u)
+		for _, v := range nbrs {
+			eidUV := edgeID(pos, u, v)
+			for _, w := range nbrs {
+				if w == v {
+					continue
+				}
+				angle := geom.AngularDist(pos[u].Bearing(pos[v]), pos[u].Bearing(pos[w]))
+				if angle < third-geom.Eps && edgeID(pos, u, w).Less(eidUV) {
+					red.edges[graph.NewEdge(u, v)] = true
+					red.atApex[u][v] = true
+					break
+				}
+			}
+		}
+	}
+	return red
+}
+
+// RedundantEdges returns the set of redundant edges of g under
+// Definition 3.5.
+func RedundantEdges(g *graph.Graph, pos []geom.Point) map[graph.Edge]bool {
+	return redundantEdges(g, pos).edges
+}
+
+// PairwiseRemoval applies the pairwise edge removal optimization to the
+// symmetric graph g and returns the pruned graph together with the edges
+// it removed (sorted canonically, for reporting).
+func PairwiseRemoval(g *graph.Graph, pos []geom.Point, policy PairwisePolicy) (*graph.Graph, []graph.Edge) {
+	red := redundantEdges(g, pos)
+	out := g.Clone()
+	var removed []graph.Edge
+
+	if policy == PairwiseRemoveAll {
+		for e := range red.edges {
+			out.RemoveEdge(e.U, e.V)
+			removed = append(removed, e)
+		}
+		sortEdges(removed)
+		return out, removed
+	}
+
+	// Longest non-redundant incident edge per node. A node whose
+	// incident edges are all redundant keeps them all (defensive: the
+	// theorem implies this cannot happen for non-isolated nodes, but
+	// floating-point edge cases must not isolate anyone).
+	longestNR := make([]float64, g.Len())
+	for u := 0; u < g.Len(); u++ {
+		g.EachNeighbor(u, func(v int) {
+			if !red.edges[graph.NewEdge(u, v)] {
+				if d := pos[u].Dist(pos[v]); d > longestNR[u] {
+					longestNR[u] = d
+				}
+			}
+		})
+	}
+	benefits := func(u int, d float64) bool {
+		return longestNR[u] > 0 && d > longestNR[u]
+	}
+	for e := range red.edges {
+		d := pos[e.U].Dist(pos[e.V])
+		var drop bool
+		switch policy {
+		case PairwiseEitherEndpoint:
+			drop = benefits(e.U, d) || benefits(e.V, d)
+		case PairwiseBothEndpoints:
+			drop = benefits(e.U, d) && benefits(e.V, d)
+		default: // PairwiseLengthFiltered: the detecting apex must benefit
+			drop = (red.atApex[e.U][e.V] && benefits(e.U, d)) ||
+				(red.atApex[e.V][e.U] && benefits(e.V, d))
+		}
+		if drop {
+			out.RemoveEdge(e.U, e.V)
+			removed = append(removed, e)
+		}
+	}
+	sortEdges(removed)
+	return out, removed
+}
+
+func sortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}

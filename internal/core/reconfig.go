@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/radio"
+)
+
+// Action is what a reconfiguration event requires of the enclosing
+// protocol after the Reconfigurator has updated its local state.
+type Action int
+
+const (
+	// ActionNone means the local state was repaired in place; no protocol
+	// activity is needed.
+	ActionNone Action = iota + 1
+	// ActionRegrow means an α-gap opened: the node must rerun the
+	// CBTC(α) growing phase, starting from RegrowStartPower().
+	ActionRegrow
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionRegrow:
+		return "regrow"
+	default:
+		return "unknown"
+	}
+}
+
+// Reconfigurator is the per-node reconfiguration state machine of §4.
+// It maintains the node's neighbor set across joinᵤ(v), leaveᵤ(v) and
+// aChangeᵤ(v) events detected by the Neighbor Discovery Protocol, and
+// tells the protocol when a full regrow is needed.
+//
+// The Reconfigurator is not safe for concurrent use; the discrete-event
+// simulator serializes all events of a node.
+type Reconfigurator struct {
+	alpha     float64
+	model     radio.Model
+	neighbors map[int]Discovery
+}
+
+// NewReconfigurator builds the state machine from the node's CBTC
+// result.
+func NewReconfigurator(alpha float64, model radio.Model, initial []Discovery) *Reconfigurator {
+	r := &Reconfigurator{
+		alpha:     alpha,
+		model:     model,
+		neighbors: make(map[int]Discovery, len(initial)),
+	}
+	for _, d := range initial {
+		r.neighbors[d.ID] = d
+	}
+	return r
+}
+
+// Leave handles a leaveᵤ(v) event: v's beacons stopped. If dropping v
+// opens an α-gap the node must regrow (the paper restarts CBTC from
+// p(rad⁻_{u,α}) rather than from p₀).
+func (r *Reconfigurator) Leave(id int) Action {
+	if _, ok := r.neighbors[id]; !ok {
+		return ActionNone
+	}
+	delete(r.neighbors, id)
+	if geom.HasGap(r.Directions(), r.alpha) {
+		return ActionRegrow
+	}
+	return ActionNone
+}
+
+// Join handles a joinᵤ(v) event: a beacon from a new neighbor. The node
+// records the direction and needed power, then — as in the shrink-back
+// operation — removes the farthest neighbors whose removal leaves the
+// coverage unchanged.
+func (r *Reconfigurator) Join(d Discovery) Action {
+	r.neighbors[d.ID] = d
+	r.shrink()
+	return ActionNone
+}
+
+// AngleChange handles an aChangeᵤ(v) event: v's bearing moved. If the
+// new direction set has an α-gap the node regrows; otherwise it shrinks
+// as after a join.
+func (r *Reconfigurator) AngleChange(id int, newDir float64) Action {
+	d, ok := r.neighbors[id]
+	if !ok {
+		return ActionNone
+	}
+	d.Dir = geom.Normalize(newDir)
+	r.neighbors[id] = d
+	if geom.HasGap(r.Directions(), r.alpha) {
+		return ActionRegrow
+	}
+	r.shrink()
+	return ActionNone
+}
+
+// shrink removes neighbors farthest-first while coverage is unchanged,
+// stopping at the first neighbor whose removal would reduce coverage.
+func (r *Reconfigurator) shrink() {
+	list := r.Neighbors()
+	sort.Slice(list, func(i, j int) bool { return list[i].Dist > list[j].Dist })
+	full := geom.Coverage(r.Directions(), r.alpha)
+	for _, d := range list {
+		delete(r.neighbors, d.ID)
+		if !geom.Coverage(r.Directions(), r.alpha).Equal(full, 10*geom.Eps) {
+			r.neighbors[d.ID] = d // removal changed coverage: keep and stop
+			return
+		}
+	}
+}
+
+// Neighbors returns the current neighbor set sorted by ID.
+func (r *Reconfigurator) Neighbors() []Discovery {
+	out := make([]Discovery, 0, len(r.neighbors))
+	for _, d := range r.neighbors {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Has reports whether id is currently a neighbor.
+func (r *Reconfigurator) Has(id int) bool {
+	_, ok := r.neighbors[id]
+	return ok
+}
+
+// Directions returns the current direction set.
+func (r *Reconfigurator) Directions() []float64 {
+	out := make([]float64, 0, len(r.neighbors))
+	for _, d := range r.neighbors {
+		out = append(out, d.Dir)
+	}
+	return out
+}
+
+// HasGap reports whether the current direction set leaves an α-gap.
+func (r *Reconfigurator) HasGap() bool {
+	return geom.HasGap(r.Directions(), r.alpha)
+}
+
+// RegrowStartPower returns p(rad⁻_{u,α}) for the current neighbor set —
+// the power the paper restarts the growing phase from. With no neighbors
+// it falls back to a small fraction of maximum power.
+func (r *Reconfigurator) RegrowStartPower() float64 {
+	var maxDist float64
+	for _, d := range r.neighbors {
+		if d.Dist > maxDist {
+			maxDist = d.Dist
+		}
+	}
+	if maxDist == 0 {
+		return r.model.MaxPower() / 1024
+	}
+	return r.model.PowerFor(maxDist)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/workload"
+)
+
+// fourQuadrantNeighbors builds a neighbor set with one node per
+// quadrant, all at distance 100 — gaps of π/2 everywhere.
+func fourQuadrantNeighbors(m interface{ PowerFor(float64) float64 }) []Discovery {
+	out := make([]Discovery, 4)
+	for i := range out {
+		dir := math.Pi/4 + float64(i)*math.Pi/2
+		out[i] = Discovery{ID: i + 1, Dist: 100, Dir: dir, Power: m.PowerFor(100)}
+	}
+	return out
+}
+
+func TestReconfiguratorLeave(t *testing.T) {
+	m := defaultModel()
+	r := NewReconfigurator(AlphaConnectivity, m, fourQuadrantNeighbors(m))
+	if r.HasGap() {
+		t.Fatalf("four quadrants at α=5π/6 must have no gap")
+	}
+	// Dropping one quadrant opens a gap of π > 5π/6.
+	if got := r.Leave(2); got != ActionRegrow {
+		t.Errorf("Leave(2) = %v, want ActionRegrow", got)
+	}
+	if r.Has(2) {
+		t.Errorf("left neighbor must be gone")
+	}
+	// Leaving an unknown node is a no-op.
+	if got := r.Leave(99); got != ActionNone {
+		t.Errorf("Leave(unknown) = %v, want ActionNone", got)
+	}
+}
+
+func TestReconfiguratorLeaveNoGap(t *testing.T) {
+	m := defaultModel()
+	// Six neighbors at π/3 spacing: dropping one leaves 2π/3 ≤ 5π/6.
+	var nbs []Discovery
+	for i := 0; i < 6; i++ {
+		nbs = append(nbs, Discovery{ID: i + 1, Dist: 100, Dir: float64(i) * math.Pi / 3, Power: m.PowerFor(100)})
+	}
+	r := NewReconfigurator(AlphaConnectivity, m, nbs)
+	if got := r.Leave(1); got != ActionNone {
+		t.Errorf("Leave with remaining coverage = %v, want ActionNone", got)
+	}
+}
+
+func TestReconfiguratorJoinShrinks(t *testing.T) {
+	m := defaultModel()
+	r := NewReconfigurator(AlphaConnectivity, m, fourQuadrantNeighbors(m))
+	// A far neighbor in an already-covered direction is dropped by the
+	// farthest-first shrink.
+	if got := r.Join(Discovery{ID: 9, Dist: 450, Dir: math.Pi / 4, Power: m.PowerFor(450)}); got != ActionNone {
+		t.Errorf("Join = %v, want ActionNone", got)
+	}
+	if r.Has(9) {
+		t.Errorf("redundant far joiner must be shrunk away")
+	}
+	for i := 1; i <= 4; i++ {
+		if !r.Has(i) {
+			t.Errorf("original neighbor %d must survive", i)
+		}
+	}
+}
+
+func TestReconfiguratorJoinKeepsUseful(t *testing.T) {
+	m := defaultModel()
+	// Only two neighbors, big gaps: a joiner filling a gap must be kept.
+	nbs := []Discovery{
+		{ID: 1, Dist: 100, Dir: 0, Power: m.PowerFor(100)},
+		{ID: 2, Dist: 100, Dir: math.Pi / 2, Power: m.PowerFor(100)},
+	}
+	r := NewReconfigurator(AlphaConnectivity, m, nbs)
+	r.Join(Discovery{ID: 3, Dist: 400, Dir: math.Pi, Power: m.PowerFor(400)})
+	if !r.Has(3) {
+		t.Errorf("gap-filling joiner must be kept")
+	}
+}
+
+func TestReconfiguratorAngleChange(t *testing.T) {
+	m := defaultModel()
+	r := NewReconfigurator(AlphaConnectivity, m, fourQuadrantNeighbors(m))
+	// Small wobble: no gap, no action.
+	if got := r.AngleChange(1, math.Pi/4+0.05); got != ActionNone {
+		t.Errorf("small angle change = %v, want ActionNone", got)
+	}
+	// Node 1 swings into node 2's quadrant: the first quadrant empties,
+	// gap opens (max gap grows past 5π/6... 3π/2 between node 4 and the
+	// moved node going counterclockwise through the empty quadrant).
+	if got := r.AngleChange(1, 3*math.Pi/4); got != ActionRegrow {
+		t.Errorf("large angle change = %v, want ActionRegrow", got)
+	}
+	if got := r.AngleChange(42, 1.0); got != ActionNone {
+		t.Errorf("angle change of unknown node = %v, want ActionNone", got)
+	}
+}
+
+func TestRegrowStartPower(t *testing.T) {
+	m := defaultModel()
+	r := NewReconfigurator(AlphaConnectivity, m, fourQuadrantNeighbors(m))
+	if got, want := r.RegrowStartPower(), m.PowerFor(100); !almostEq(got, want, 1e-9) {
+		t.Errorf("RegrowStartPower = %v, want p(100) = %v", got, want)
+	}
+	empty := NewReconfigurator(AlphaConnectivity, m, nil)
+	if got := empty.RegrowStartPower(); got <= 0 || got > m.MaxPower() {
+		t.Errorf("empty RegrowStartPower = %v, want in (0, P]", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionNone.String() != "none" || ActionRegrow.String() != "regrow" {
+		t.Errorf("unexpected Action strings: %v %v", ActionNone, ActionRegrow)
+	}
+	if Action(0).String() != "unknown" {
+		t.Errorf("zero Action must stringify as unknown")
+	}
+}
+
+func TestBeaconPowerRules(t *testing.T) {
+	m := defaultModel()
+	pos := workload.Uniform(workload.Rand(6), 80, 1500, 1500)
+	e := mustRun(t, pos, m, AlphaConnectivity)
+
+	basic, err := BuildTopology(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := BuildTopology(e, Options{ShrinkBack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := BuildTopology(e, Options{ShrinkBack: true, PairwiseRemoval: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for u := range pos {
+		// Basic rule: beacon reaches every E_α neighbor.
+		want := m.PowerFor(basic.Radius(u))
+		if got := basic.BeaconPower(u); !almostEq(got, want, 1e-6) {
+			t.Errorf("node %d basic beacon = %v, want %v", u, got, want)
+		}
+		// Shrink-back rule: boundary nodes beacon at the basic power
+		// (maximum power), never below.
+		if e.Nodes[u].Boundary {
+			if got := shrunk.BeaconPower(u); !almostEq(got, m.MaxPower(), 1e-6) {
+				t.Errorf("boundary node %d shrunk beacon = %v, want max power", u, got)
+			}
+		}
+		// Pairwise rule: beacon power covers the pre-pairwise graph, so
+		// it is never below the power for the final (pruned) graph.
+		if pruned.BeaconPower(u) < m.PowerFor(pruned.Radius(u))-1e-6 {
+			t.Errorf("node %d pairwise beacon below final radius", u)
+		}
+	}
+}
+
+func TestBeaconPowerCoversGpre(t *testing.T) {
+	m := defaultModel()
+	pos := workload.Uniform(workload.Rand(12), 80, 1500, 1500)
+	e := mustRun(t, pos, m, AlphaConnectivity)
+	topo, err := BuildTopology(e, Options{ShrinkBack: true, PairwiseRemoval: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range pos {
+		beacon := topo.BeaconPower(u)
+		var bad bool
+		topo.Gpre.EachNeighbor(u, func(v int) {
+			if !m.Reaches(beacon, pos[u].Dist(pos[v])) {
+				bad = true
+			}
+		})
+		if bad {
+			t.Errorf("node %d beacon power %v does not cover its E_α neighbors", u, beacon)
+		}
+	}
+}
+
+// A regrow round-trip: after Leave opens a gap, rerunning the oracle
+// from the placement repairs the neighbor set.
+func TestReconfigRegrowRoundTrip(t *testing.T) {
+	m := defaultModel()
+	center := geom.Pt(750, 750)
+	pos := []geom.Point{center}
+	for i := 0; i < 6; i++ {
+		pos = append(pos, center.Polar(150, float64(i)*math.Pi/3))
+	}
+	e := mustRun(t, pos, m, AlphaConnectivity)
+	r := NewReconfigurator(AlphaConnectivity, m, e.Nodes[0].Neighbors)
+
+	// Two adjacent ring nodes die: a gap of π opens.
+	r.Leave(1)
+	if got := r.Leave(2); got != ActionRegrow {
+		t.Fatalf("second leave must trigger regrow, got %v", got)
+	}
+
+	// The protocol would now rerun CBTC; the oracle over the surviving
+	// placement stands in for it.
+	survivors := []geom.Point{pos[0], pos[3], pos[4], pos[5], pos[6]}
+	e2 := mustRun(t, survivors, m, AlphaConnectivity)
+	if len(e2.Nodes[0].Neighbors) != 4 {
+		t.Errorf("regrown node 0 must see the 4 survivors, got %d", len(e2.Nodes[0].Neighbors))
+	}
+}

@@ -1,0 +1,57 @@
+package geom
+
+import "math"
+
+// Circle is the circ(u, r) of the paper's proofs: the circle centered
+// at Center with radius Radius.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+// Contains reports whether p lies inside or on the circle (within Eps
+// of the boundary).
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist(p) <= c.Radius*(1+Eps)+Eps
+}
+
+// StrictlyInside reports whether p lies strictly inside the circle.
+func (c Circle) StrictlyInside(p Point) bool {
+	return c.Center.Dist(p) < c.Radius*(1-Eps)
+}
+
+// Intersect returns the intersection points of two circles. The second
+// return value is the count: 0 (disjoint or concentric), 1 (tangent),
+// or 2. With two intersections, the first returned point is the one on
+// the left of the directed line from c's center to o's center.
+//
+// The Figure 5 construction uses it to locate s and s′, the
+// intersections of the two radius-R circles around the cluster heads.
+func (c Circle) Intersect(o Circle) ([2]Point, int) {
+	var out [2]Point
+	d := c.Center.Dist(o.Center)
+	if d == 0 {
+		return out, 0 // concentric (coincident circles: infinite, report 0)
+	}
+	if d > c.Radius+o.Radius+Eps || d < math.Abs(c.Radius-o.Radius)-Eps {
+		return out, 0
+	}
+	// Distance from c's center to the chord's midpoint along the center
+	// line, clamped for tangency noise.
+	a := (d*d + c.Radius*c.Radius - o.Radius*o.Radius) / (2 * d)
+	h2 := c.Radius*c.Radius - a*a
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	dir := o.Center.Sub(c.Center).Scale(1 / d)
+	mid := c.Center.Add(dir.Scale(a))
+	if h <= Eps*(1+c.Radius) {
+		out[0] = mid
+		return out, 1
+	}
+	normal := Point{X: -dir.Y, Y: dir.X} // left of the center line
+	out[0] = mid.Add(normal.Scale(h))
+	out[1] = mid.Sub(normal.Scale(h))
+	return out, 2
+}

@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), Radius: 10}
+	tests := []struct {
+		p              Point
+		contains       bool
+		strictlyInside bool
+	}{
+		{Pt(0, 0), true, true},
+		{Pt(5, 5), true, true},
+		{Pt(10, 0), true, false}, // on the boundary
+		{Pt(11, 0), false, false},
+	}
+	for _, tt := range tests {
+		if got := c.Contains(tt.p); got != tt.contains {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.contains)
+		}
+		if got := c.StrictlyInside(tt.p); got != tt.strictlyInside {
+			t.Errorf("StrictlyInside(%v) = %v, want %v", tt.p, got, tt.strictlyInside)
+		}
+	}
+}
+
+func TestCircleIntersectCases(t *testing.T) {
+	a := Circle{Center: Pt(0, 0), Radius: 5}
+	tests := []struct {
+		name string
+		b    Circle
+		want int
+	}{
+		{"two points", Circle{Pt(6, 0), 5}, 2},
+		{"external tangent", Circle{Pt(10, 0), 5}, 1},
+		{"internal tangent", Circle{Pt(2, 0), 3}, 1},
+		{"disjoint", Circle{Pt(20, 0), 5}, 0},
+		{"contained", Circle{Pt(0.5, 0), 1}, 0},
+		{"concentric", Circle{Pt(0, 0), 3}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pts, n := a.Intersect(tt.b)
+			if n != tt.want {
+				t.Fatalf("intersections = %d, want %d", n, tt.want)
+			}
+			for i := 0; i < n; i++ {
+				if da := a.Center.Dist(pts[i]); math.Abs(da-a.Radius) > 1e-9 {
+					t.Errorf("point %d not on circle a: dist %v", i, da)
+				}
+				if db := tt.b.Center.Dist(pts[i]); math.Abs(db-tt.b.Radius) > 1e-9 {
+					t.Errorf("point %d not on circle b: dist %v", i, db)
+				}
+			}
+		})
+	}
+}
+
+// The Figure 5 anchor points: two radius-R circles whose centers are R
+// apart intersect at s = (R/2, ±√3R/2) relative to the center line.
+func TestCircleIntersectFigure5Anchors(t *testing.T) {
+	const r = 500.0
+	u0 := Circle{Pt(0, 0), r}
+	v0 := Circle{Pt(r, 0), r}
+	pts, n := u0.Intersect(v0)
+	if n != 2 {
+		t.Fatalf("intersections = %d, want 2", n)
+	}
+	wantS := Pt(r/2, math.Sqrt(3)*r/2)
+	wantSPrime := Pt(r/2, -math.Sqrt(3)*r/2)
+	if pts[0].Dist(wantS) > 1e-6 {
+		t.Errorf("s = %v, want %v (left of u0->v0)", pts[0], wantS)
+	}
+	if pts[1].Dist(wantSPrime) > 1e-6 {
+		t.Errorf("s' = %v, want %v", pts[1], wantSPrime)
+	}
+}
+
+// Intersection points always lie on both circles; the count matches the
+// center-distance classification.
+func TestCircleIntersectProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 71))
+		a := Circle{Pt(rng.Float64()*100, rng.Float64()*100), rng.Float64()*50 + 1}
+		b := Circle{Pt(rng.Float64()*100, rng.Float64()*100), rng.Float64()*50 + 1}
+		pts, n := a.Intersect(b)
+		d := a.Center.Dist(b.Center)
+		switch {
+		case d > a.Radius+b.Radius+1e-9:
+			if n != 0 {
+				return false
+			}
+		case d < math.Abs(a.Radius-b.Radius)-1e-9:
+			if n != 0 {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(a.Center.Dist(pts[i])-a.Radius) > 1e-6 ||
+				math.Abs(b.Center.Dist(pts[i])-b.Radius) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,25 @@
+package geom
+
+// InCone reports whether point p lies inside cone(apex, alpha, towards):
+// the cone of degree alpha with its apex at apex, bisected by the ray
+// from apex through towards (Figure 3 of the paper). Boundary points
+// count as inside (within Eps).
+//
+// The apex itself and the degenerate case towards == apex return false.
+func InCone(apex Point, alpha float64, towards, p Point) bool {
+	if p == apex || towards == apex {
+		return false
+	}
+	axis := apex.Bearing(towards)
+	dir := apex.Bearing(p)
+	return AngularDist(axis, dir) <= alpha/2+Eps
+}
+
+// InConeDir is InCone with the cone axis given directly as a bearing.
+func InConeDir(apex Point, alpha, axis float64, p Point) bool {
+	if p == apex {
+		return false
+	}
+	dir := apex.Bearing(p)
+	return AngularDist(axis, dir) <= alpha/2+Eps
+}

@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestInCone(t *testing.T) {
+	apex := Pt(0, 0)
+	towards := Pt(1, 0)
+	alpha := math.Pi / 2 // half-angle π/4
+
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"on axis", Pt(2, 0), true},
+		{"inside upper", Pt(1, 0.9), true},   // ~42° < 45°
+		{"inside lower", Pt(1, -0.9), true},  // ~-42°
+		{"boundary", Pt(1, 1), true},         // exactly 45°
+		{"outside upper", Pt(1, 1.1), false}, // ~47.7°
+		{"behind", Pt(-1, 0), false},
+		{"perpendicular", Pt(0, 1), false},
+		{"apex itself", Pt(0, 0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := InCone(apex, alpha, towards, tt.p); got != tt.want {
+				t.Errorf("InCone(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInConeDegenerate(t *testing.T) {
+	apex := Pt(1, 1)
+	if InCone(apex, math.Pi, apex, Pt(2, 2)) {
+		t.Errorf("cone with axis through its own apex is undefined; must be false")
+	}
+}
+
+// A point is in cone(u, α, v) iff the angular distance between the
+// bearings agrees with the direct computation; also, widening the cone
+// never excludes points.
+func TestInConeWideningProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		apex := Pt(rng.Float64()*100, rng.Float64()*100)
+		towards := apex.Polar(1+rng.Float64()*10, rng.Float64()*TwoPi)
+		p := apex.Polar(1+rng.Float64()*10, rng.Float64()*TwoPi)
+		alpha := rng.Float64() * math.Pi
+		if InCone(apex, alpha, towards, p) && !InCone(apex, alpha+0.3, towards, p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Full-circle cones contain every point except the apex.
+func TestInConeFullCircleProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		apex := Pt(rng.Float64()*100, rng.Float64()*100)
+		towards := apex.Polar(1, rng.Float64()*TwoPi)
+		p := apex.Polar(0.1+rng.Float64()*10, rng.Float64()*TwoPi)
+		return InCone(apex, TwoPi, towards, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInConeDirMatchesInCone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		apex := Pt(rng.Float64()*100, rng.Float64()*100)
+		axis := rng.Float64() * TwoPi
+		towards := apex.Polar(5, axis)
+		p := apex.Polar(0.5+rng.Float64()*10, rng.Float64()*TwoPi)
+		alpha := 0.1 + rng.Float64()*(math.Pi-0.2)
+		return InCone(apex, alpha, towards, p) == InConeDir(apex, alpha, axis, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverageBasics(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		s := Coverage(nil, math.Pi)
+		if !s.IsEmpty() || s.IsFull() {
+			t.Errorf("coverage of no directions must be empty, got %v", s)
+		}
+	})
+	t.Run("full circle alpha", func(t *testing.T) {
+		s := Coverage([]float64{1}, TwoPi)
+		if !s.IsFull() {
+			t.Errorf("alpha = 2π must cover everything, got %v", s)
+		}
+	})
+	t.Run("single direction", func(t *testing.T) {
+		s := Coverage([]float64{0}, math.Pi/2)
+		if s.IsFull() || s.IsEmpty() {
+			t.Fatalf("unexpected degenerate set: %v", s)
+		}
+		if !almostEq(s.TotalLength(), math.Pi/2, 1e-9) {
+			t.Errorf("TotalLength = %v, want π/2", s.TotalLength())
+		}
+		for _, theta := range []float64{0, math.Pi / 4.01, TwoPi - math.Pi/4.01} {
+			if !s.Contains(theta) {
+				t.Errorf("expected %v covered", theta)
+			}
+		}
+		for _, theta := range []float64{math.Pi / 2, math.Pi, 3 * math.Pi / 2} {
+			if s.Contains(theta) {
+				t.Errorf("expected %v uncovered", theta)
+			}
+		}
+	})
+	t.Run("overlap merges", func(t *testing.T) {
+		s := Coverage([]float64{0, 0.1}, math.Pi/2)
+		if got := s.TotalLength(); !almostEq(got, math.Pi/2+0.1, 1e-9) {
+			t.Errorf("TotalLength = %v, want %v", got, math.Pi/2+0.1)
+		}
+	})
+	t.Run("wraparound contains zero", func(t *testing.T) {
+		s := Coverage([]float64{TwoPi - 0.05}, 0.4)
+		if !s.Contains(0) || !s.Contains(0.1) || !s.Contains(TwoPi-0.2) {
+			t.Errorf("wrap-around arc must cover the 0 bearing: %v", s)
+		}
+		if s.Contains(math.Pi) {
+			t.Errorf("opposite bearing must be uncovered: %v", s)
+		}
+	})
+}
+
+func TestCoverageEqual(t *testing.T) {
+	alpha := math.Pi / 3
+	a := Coverage([]float64{0, 1, 2}, alpha)
+	b := Coverage([]float64{2, 0, 1}, alpha)
+	if !a.Equal(b, 1e-9) {
+		t.Errorf("permutation must not change coverage: %v vs %v", a, b)
+	}
+	c := Coverage([]float64{0, 1}, alpha)
+	if a.Equal(c, 1e-9) {
+		t.Errorf("dropping a contributing direction must change coverage")
+	}
+	// A direction whose arc is inside another's does not change coverage.
+	d := Coverage([]float64{0, 0.01}, alpha)
+	e := Coverage([]float64{0}, alpha)
+	if d.Equal(e, 1e-9) {
+		t.Errorf("0.01 offset widens the union; sets must differ")
+	}
+	f := Coverage([]float64{0, 0}, alpha)
+	if !f.Equal(e, 1e-9) {
+		t.Errorf("duplicate directions must not change coverage")
+	}
+}
+
+func TestCoverageWrapCanonical(t *testing.T) {
+	// Same geometric set built from arcs that do and do not cross zero.
+	alpha := 1.0
+	a := Coverage([]float64{0}, alpha)
+	b := Coverage([]float64{TwoPi}, alpha)
+	if !a.Equal(b, 1e-9) {
+		t.Errorf("0 and 2π are the same direction: %v vs %v", a, b)
+	}
+}
+
+// Duality between the gap test and coverage: the circle is fully covered
+// iff there is no α-gap. This is exactly the invariant the CBTC growing
+// phase relies on.
+func TestGapCoverageDualityProperty(t *testing.T) {
+	f := func(seed uint64, n uint8, alphaFrac float64) bool {
+		if math.IsNaN(alphaFrac) || math.IsInf(alphaFrac, 0) {
+			return true
+		}
+		alpha := math.Mod(math.Abs(alphaFrac), 1)*TwoPi*0.99 + 0.01
+		rng := rand.New(rand.NewPCG(seed, 7))
+		k := int(n % 24)
+		dirs := make([]float64, k)
+		for i := range dirs {
+			dirs[i] = rng.Float64() * TwoPi
+		}
+		full := Coverage(dirs, alpha).IsFull()
+		gap := HasGap(dirs, alpha)
+		return full == !gap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Coverage is monotone: adding directions can only grow the covered set.
+func TestCoverageMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		alpha := rng.Float64()*math.Pi + 0.1
+		k := int(n%12) + 1
+		dirs := make([]float64, k)
+		for i := range dirs {
+			dirs[i] = rng.Float64() * TwoPi
+		}
+		sub := Coverage(dirs[:k-1], alpha)
+		all := Coverage(dirs, alpha)
+		// Every probe covered by the subset must be covered by the superset.
+		for probe := 0.0; probe < TwoPi; probe += 0.05 {
+			if sub.Contains(probe) && !all.Contains(probe) {
+				return false
+			}
+		}
+		return all.TotalLength() >= sub.TotalLength()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameCoverage(t *testing.T) {
+	alpha := math.Pi / 2
+	base := []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+	if !SameCoverage(base, base, alpha) {
+		t.Errorf("identical sets must have same coverage")
+	}
+	// base covers the whole circle (gaps are exactly α = π/2); the set
+	// plus an extra direction still covers the whole circle.
+	withExtra := append(append([]float64{}, base...), 1.0)
+	if !SameCoverage(base, withExtra, alpha) {
+		t.Errorf("full circle plus extra direction is still the full circle")
+	}
+	if SameCoverage(base[:2], base, alpha) {
+		t.Errorf("strict subset with less coverage must differ")
+	}
+}
+
+func BenchmarkCoverage(b *testing.B) {
+	rng := rand.New(rand.NewPCG(42, 2))
+	dirs := make([]float64, 32)
+	for i := range dirs {
+		dirs[i] = rng.Float64() * TwoPi
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coverage(dirs, math.Pi/3)
+	}
+}

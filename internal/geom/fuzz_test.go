@@ -1,0 +1,44 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormalize: the canonical range holds for every finite input.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []float64{0, math.Pi, -math.Pi, TwoPi, -1e9, 1e9, 1e300, math.SmallestNonzeroFloat64} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, theta float64) {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return
+		}
+		n := Normalize(theta)
+		if n < 0 || n >= TwoPi {
+			t.Errorf("Normalize(%v) = %v out of [0, 2π)", theta, n)
+		}
+	})
+}
+
+// FuzzGapCoverageDuality: the gap test and arc coverage must agree for
+// any direction multiset and cone angle.
+func FuzzGapCoverageDuality(f *testing.F) {
+	f.Add(0.5, 1.0, 2.0, 3.0, math.Pi/2)
+	f.Add(0.0, 0.0, 0.0, 0.0, 2.0)
+	f.Add(1.0, 2.5, 4.0, 5.5, 5*math.Pi/6)
+	f.Fuzz(func(t *testing.T, d1, d2, d3, d4, alphaRaw float64) {
+		for _, v := range []float64{d1, d2, d3, d4, alphaRaw} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		alpha := math.Mod(math.Abs(alphaRaw), TwoPi-0.02) + 0.01
+		dirs := []float64{Normalize(d1), Normalize(d2), Normalize(d3), Normalize(d4)}
+		full := Coverage(dirs, alpha).IsFull()
+		gap := HasGap(dirs, alpha)
+		if full == gap {
+			t.Errorf("duality violated: alpha=%v dirs=%v full=%v gap=%v", alpha, dirs, full, gap)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package geom
+
+import "sort"
+
+// MaxGap returns the largest counterclockwise angular gap between
+// consecutive directions in dirs, considering the circular wrap-around.
+//
+// By convention an empty direction set has a gap of 2π (everything is
+// uncovered) and a single direction also has a gap of 2π (the full sweep
+// returns to itself). Directions need not be sorted or normalized.
+func MaxGap(dirs []float64) float64 {
+	switch len(dirs) {
+	case 0:
+		return TwoPi
+	case 1:
+		return TwoPi
+	}
+	sorted := make([]float64, len(dirs))
+	for i, d := range dirs {
+		sorted[i] = Normalize(d)
+	}
+	sort.Float64s(sorted)
+
+	maxGap := TwoPi - sorted[len(sorted)-1] + sorted[0] // wrap-around gap
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap
+}
+
+// HasGap reports whether the direction set leaves some cone of degree
+// alpha empty: it is the paper's gap-α test. A gap of exactly alpha does
+// NOT count (strict inequality, with Eps tolerance), matching the
+// constructions in §2 of the paper where adjacent neighbors subtend an
+// angle of exactly α.
+func HasGap(dirs []float64, alpha float64) bool {
+	return MaxGap(dirs) > alpha+Eps
+}

@@ -1,0 +1,69 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the indices of the points on the convex hull of
+// pts, in counterclockwise order starting from the lexicographically
+// smallest point. Collinear points on hull edges are excluded (the hull
+// is strictly convex). Degenerate inputs (fewer than 3 distinct points,
+// or all collinear) return the extreme points.
+//
+// The reproduction uses it as an independent oracle for boundary nodes:
+// a hull vertex has an empty outward half-plane, so its maximum angular
+// gap is at least π and CBTC(α) with α < π must classify it as a
+// boundary node regardless of the radio range.
+func ConvexHull(pts []Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	// Deduplicate coincident points to keep the chain well-defined.
+	uniq := idx[:0]
+	for i, id := range idx {
+		if i == 0 || pts[id] != pts[uniq[len(uniq)-1]] {
+			uniq = append(uniq, id)
+		}
+	}
+	idx = uniq
+	if len(idx) == 1 {
+		return []int{idx[0]}
+	}
+	if len(idx) == 2 {
+		return []int{idx[0], idx[1]}
+	}
+
+	cross := func(o, a, b int) float64 {
+		return pts[a].Sub(pts[o]).Cross(pts[b].Sub(pts[o]))
+	}
+	// Lower hull then upper hull (Andrew's monotone chain).
+	var hull []int
+	for _, id := range idx {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], id) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	lower := len(hull) + 1
+	for i := len(idx) - 2; i >= 0; i-- {
+		id := idx[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], id) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	if len(hull) > 1 {
+		hull = hull[:len(hull)-1] // last point repeats the first
+	}
+	return hull
+}

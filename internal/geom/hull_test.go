@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10), // corners
+		Pt(5, 5), Pt(3, 7), // interior
+		Pt(5, 0), // collinear on an edge: excluded
+	}
+	hull := ConvexHull(pts)
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v, want the 4 corners", hull)
+	}
+	for _, id := range hull {
+		if !want[id] {
+			t.Errorf("unexpected hull vertex %d", id)
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); got != nil {
+		t.Errorf("empty hull = %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 1)}); len(got) != 1 {
+		t.Errorf("single-point hull = %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 1), Pt(2, 2)}); len(got) != 2 {
+		t.Errorf("two-point hull = %v", got)
+	}
+	// Coincident points collapse.
+	if got := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(got) != 1 {
+		t.Errorf("coincident hull = %v", got)
+	}
+	// Collinear points: the two extremes.
+	got := ConvexHull([]Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)})
+	if len(got) != 2 {
+		t.Errorf("collinear hull = %v, want the 2 extremes", got)
+	}
+}
+
+// Every input point lies inside or on the hull polygon, and the hull is
+// convex (all turns counterclockwise).
+func TestConvexHullInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 61))
+		n := int(nRaw%40) + 3
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			return true // degenerate random input is vanishingly unlikely
+		}
+		// Convexity: consecutive triples turn left.
+		for i := range hull {
+			o, a, b := hull[i], hull[(i+1)%len(hull)], hull[(i+2)%len(hull)]
+			if pts[a].Sub(pts[o]).Cross(pts[b].Sub(pts[o])) <= 0 {
+				return false
+			}
+		}
+		// Containment: every point is on the inner side of every edge.
+		for p := range pts {
+			for i := range hull {
+				o, a := hull[i], hull[(i+1)%len(hull)]
+				if pts[a].Sub(pts[o]).Cross(pts[p].Sub(pts[o])) < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const testTol = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func pointsAlmostEq(p, q Point, tol float64) bool {
+	return almostEq(p.X, q.X, tol) && almostEq(p.Y, q.Y, tol)
+}
+
+func TestPointArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Point
+		want Point
+	}{
+		{"add", Pt(1, 2).Add(Pt(3, -1)), Pt(4, 1)},
+		{"sub", Pt(1, 2).Sub(Pt(3, -1)), Pt(-2, 3)},
+		{"scale", Pt(1, -2).Scale(3), Pt(3, -6)},
+		{"midpoint", Pt(0, 0).Midpoint(Pt(4, 6)), Pt(2, 3)},
+		{"reflect", Pt(1, 1).ReflectThrough(Pt(2, 3)), Pt(3, 5)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !pointsAlmostEq(tt.got, tt.want, testTol) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	p, q := Pt(2, 1), Pt(-1, 3)
+	if got := p.Dot(q); !almostEq(got, 1, testTol) {
+		t.Errorf("Dot = %v, want 1", got)
+	}
+	if got := p.Cross(q); !almostEq(got, 7, testTol) {
+		t.Errorf("Cross = %v, want 7", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almostEq(got, tt.want, testTol) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.Dist2(tt.q); !almostEq(got, tt.want*tt.want, testTol) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestBearing(t *testing.T) {
+	o := Pt(0, 0)
+	tests := []struct {
+		q    Point
+		want float64
+	}{
+		{Pt(1, 0), 0},
+		{Pt(0, 1), math.Pi / 2},
+		{Pt(-1, 0), math.Pi},
+		{Pt(0, -1), 3 * math.Pi / 2},
+		{Pt(1, 1), math.Pi / 4},
+	}
+	for _, tt := range tests {
+		if got := o.Bearing(tt.q); !almostEq(got, tt.want, testTol) {
+			t.Errorf("Bearing(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := o.Bearing(o); got != 0 {
+		t.Errorf("Bearing to self = %v, want 0", got)
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	f := func(x, y, r, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(r) || math.IsNaN(theta) {
+			return true
+		}
+		r = math.Mod(math.Abs(r), 1e6) + 1e-3
+		// Huge angles make libm's argument reduction and our 2π reduction
+		// disagree at the last ulp scale; bearings are physical angles.
+		theta = math.Mod(theta, 1e3)
+		p := Pt(math.Mod(x, 1e6), math.Mod(y, 1e6))
+		q := p.Polar(r, theta)
+		return almostEq(p.Dist(q), r, 1e-6*r+1e-9) &&
+			AngularDist(p.Bearing(q), Normalize(theta)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateAroundPreservesDistance(t *testing.T) {
+	f := func(px, py, cx, cy, theta float64) bool {
+		p := Pt(math.Mod(px, 1e5), math.Mod(py, 1e5))
+		c := Pt(math.Mod(cx, 1e5), math.Mod(cy, 1e5))
+		q := p.RotateAround(c, theta)
+		return almostEq(c.Dist(p), c.Dist(q), 1e-6*(1+c.Dist(p)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReflectThroughInvolution(t *testing.T) {
+	f := func(px, py, cx, cy float64) bool {
+		p := Pt(math.Mod(px, 1e6), math.Mod(py, 1e6))
+		c := Pt(math.Mod(cx, 1e6), math.Mod(cy, 1e6))
+		return pointsAlmostEq(p.ReflectThrough(c).ReflectThrough(c), p, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(math.Mod(ax, 1e4), math.Mod(ay, 1e4))
+		b := Pt(math.Mod(bx, 1e4), math.Mod(by, 1e4))
+		c := Pt(math.Mod(cx, 1e4), math.Mod(cy, 1e4))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+// ArticulationPoints returns the cut vertices of g: nodes whose removal
+// increases the number of connected components. Topology-control papers
+// care about them because a network without articulation points
+// (biconnected) survives any single node failure — the robustness goal
+// of Ramanathan & Rosales-Hain's biconnectivity augmentation.
+func ArticulationPoints(g *Graph) []int {
+	n := g.Len()
+	disc := make([]int, n) // discovery times, 0 = unvisited
+	low := make([]int, n)  // lowest discovery time reachable
+	parent := make([]int, n)
+	isArt := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := 0
+
+	// Iterative DFS to survive deep graphs without recursion limits.
+	type frame struct {
+		u     int
+		nbrs  []int
+		index int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start], low[start] = timer, timer
+		stack := []frame{{u: start, nbrs: g.Neighbors(start)}}
+		rootChildren := 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.index < len(f.nbrs) {
+				v := f.nbrs[f.index]
+				f.index++
+				switch {
+				case disc[v] == 0:
+					parent[v] = f.u
+					if f.u == start {
+						rootChildren++
+					}
+					timer++
+					disc[v], low[v] = timer, timer
+					stack = append(stack, frame{u: v, nbrs: g.Neighbors(v)})
+				case v != parent[f.u]:
+					if disc[v] < low[f.u] {
+						low[f.u] = disc[v]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low to the parent.
+			stack = stack[:len(stack)-1]
+			if p := parent[f.u]; p != -1 {
+				if low[f.u] < low[p] {
+					low[p] = low[f.u]
+				}
+				if p != start && low[f.u] >= disc[p] {
+					isArt[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isArt[start] = true
+		}
+	}
+
+	var out []int
+	for u, a := range isArt {
+		if a {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// IsBiconnected reports whether g is connected, has at least 3 nodes,
+// and contains no articulation points: it survives any single node
+// failure.
+func IsBiconnected(g *Graph) bool {
+	if g.Len() < 3 || !IsConnected(g) {
+		return false
+	}
+	return len(ArticulationPoints(g)) == 0
+}

@@ -1,0 +1,104 @@
+package graph
+
+// Components returns, for every node, the index of its connected
+// component. Component indices are dense, assigned in increasing order of
+// the smallest node they contain, so two runs over equal graphs produce
+// identical labelings.
+func Components(g *Graph) []int {
+	comp := make([]int, g.Len())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for s := 0; s < g.Len(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.EachNeighbor(u, func(v int) {
+				if comp[v] == -1 {
+					comp[v] = next
+					stack = append(stack, v)
+				}
+			})
+		}
+		next++
+	}
+	return comp
+}
+
+// ComponentCount returns the number of connected components.
+func ComponentCount(g *Graph) int {
+	comp := Components(g)
+	max := -1
+	for _, c := range comp {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
+// IsConnected reports whether the graph has at most one component.
+// The empty graph is considered connected.
+func IsConnected(g *Graph) bool { return ComponentCount(g) <= 1 }
+
+// Connected reports whether u and v are in the same component.
+func Connected(g *Graph, u, v int) bool {
+	if u == v {
+		return true
+	}
+	uf := unionFindOf(g)
+	return uf.Connected(u, v)
+}
+
+// SamePartition reports whether two graphs over the same node set induce
+// exactly the same partition into connected components. This is the
+// statement of Theorem 2.1: u and v are connected in G_α iff they are
+// connected in G_R.
+func SamePartition(a, b *Graph) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ca, cb := Components(a), Components(b)
+	// Dense canonical labelings are equal iff the partitions are equal.
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PreservesConnectivity reports whether the subgraph sub preserves the
+// connectivity of base: any two nodes connected in base remain connected
+// in sub. For sub ⊆ base this is equivalent to SamePartition.
+func PreservesConnectivity(base, sub *Graph) bool {
+	if base.Len() != sub.Len() {
+		return false
+	}
+	uf := unionFindOf(sub)
+	for _, e := range base.Edges() {
+		if !uf.Connected(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+func unionFindOf(g *Graph) *UnionFind {
+	uf := NewUnionFind(g.Len())
+	for u := 0; u < g.Len(); u++ {
+		g.EachNeighbor(u, func(v int) {
+			if u < v {
+				uf.Union(u, v)
+			}
+		})
+	}
+	return uf
+}

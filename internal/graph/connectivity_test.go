@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Sets() != 6 {
+		t.Fatalf("Sets = %d, want 6", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatalf("fresh unions must merge")
+	}
+	if uf.Union(0, 2) {
+		t.Errorf("union inside one set must report false")
+	}
+	if !uf.Connected(0, 2) {
+		t.Errorf("0 and 2 must be connected")
+	}
+	if uf.Connected(0, 3) {
+		t.Errorf("0 and 3 must be disconnected")
+	}
+	if uf.Sets() != 4 {
+		t.Errorf("Sets = %d, want 4", uf.Sets())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comp := Components(g)
+	want := []int{0, 0, 0, 1, 2, 2}
+	for i := range want {
+		if comp[i] != want[i] {
+			t.Errorf("comp[%d] = %d, want %d (all: %v)", i, comp[i], want[i], comp)
+		}
+	}
+	if got := ComponentCount(g); got != 3 {
+		t.Errorf("ComponentCount = %d, want 3", got)
+	}
+	if IsConnected(g) {
+		t.Errorf("graph with 3 components is not connected")
+	}
+	if !IsConnected(pathGraph(10)) {
+		t.Errorf("path graph must be connected")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if !Connected(g, 0, 1) || !Connected(g, 2, 2) {
+		t.Errorf("expected connected pairs")
+	}
+	if Connected(g, 0, 2) {
+		t.Errorf("expected disconnected pair")
+	}
+}
+
+func TestSamePartition(t *testing.T) {
+	a := pathGraph(5)
+	// Same partition, different edges: a star instead of a path.
+	b := New(5)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	if !SamePartition(a, b) {
+		t.Errorf("path and star over same nodes are both one component")
+	}
+	c := New(5)
+	c.AddEdge(0, 1)
+	if SamePartition(a, c) {
+		t.Errorf("different partitions must not compare equal")
+	}
+	if SamePartition(a, New(4)) {
+		t.Errorf("different node counts must not compare equal")
+	}
+}
+
+func TestPreservesConnectivity(t *testing.T) {
+	base := New(4)
+	base.AddEdge(0, 1)
+	base.AddEdge(1, 2)
+	base.AddEdge(0, 2) // triangle
+	base.AddEdge(2, 3)
+
+	sub := New(4)
+	sub.AddEdge(0, 1)
+	sub.AddEdge(1, 2)
+	sub.AddEdge(2, 3)
+	if !PreservesConnectivity(base, sub) {
+		t.Errorf("dropping one triangle edge keeps connectivity")
+	}
+
+	broken := New(4)
+	broken.AddEdge(0, 1)
+	broken.AddEdge(1, 2)
+	if PreservesConnectivity(base, broken) {
+		t.Errorf("losing node 3 must be detected")
+	}
+}
+
+// Union-find over edges and BFS components must agree on every random
+// graph.
+func TestUnionFindMatchesBFSProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 29))
+		n := int(nRaw%30) + 2
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(rng.IntN(n), rng.IntN(n))
+		}
+		comp := Components(g)
+		uf := NewUnionFind(n)
+		for _, e := range g.Edges() {
+			uf.Union(e.U, e.V)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if (comp[u] == comp[v]) != uf.Connected(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A graph always has the same partition as itself, and adding an edge
+// within a component preserves the partition.
+func TestSamePartitionReflexiveProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 37))
+		n := int(nRaw%20) + 3
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(rng.IntN(n), rng.IntN(n))
+		}
+		if !SamePartition(g, g) {
+			return false
+		}
+		comp := Components(g)
+		// Find two distinct nodes in the same component, if any.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if comp[u] == comp[v] && !g.HasEdge(u, v) {
+					h := g.Clone()
+					h.AddEdge(u, v)
+					return SamePartition(g, h)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

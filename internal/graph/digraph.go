@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed simple graph over nodes 0..N-1. It represents
+// the asymmetric neighbor relation N_α = {(u,v) : v ∈ N_α(u)} computed
+// by CBTC before any symmetrization.
+type Digraph struct {
+	n   int
+	out []map[int]struct{}
+}
+
+// NewDigraph returns an empty directed graph with n nodes.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	out := make([]map[int]struct{}, n)
+	for i := range out {
+		out[i] = make(map[int]struct{})
+	}
+	return &Digraph{n: n, out: out}
+}
+
+// Len returns the number of nodes.
+func (d *Digraph) Len() int { return d.n }
+
+// AddArc inserts the directed edge u→v. Self-loops are ignored.
+func (d *Digraph) AddArc(u, v int) {
+	d.check(u)
+	d.check(v)
+	if u == v {
+		return
+	}
+	d.out[u][v] = struct{}{}
+}
+
+// RemoveArc deletes the directed edge u→v if present.
+func (d *Digraph) RemoveArc(u, v int) {
+	d.check(u)
+	d.check(v)
+	delete(d.out[u], v)
+}
+
+// HasArc reports whether the directed edge u→v is present.
+func (d *Digraph) HasArc(u, v int) bool {
+	d.check(u)
+	d.check(v)
+	_, ok := d.out[u][v]
+	return ok
+}
+
+// OutDegree returns the number of outgoing edges of u.
+func (d *Digraph) OutDegree(u int) int {
+	d.check(u)
+	return len(d.out[u])
+}
+
+// Successors returns the sorted list of v with u→v.
+func (d *Digraph) Successors(u int) []int {
+	d.check(u)
+	out := make([]int, 0, len(d.out[u]))
+	for v := range d.out[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ArcCount returns the number of directed edges.
+func (d *Digraph) ArcCount() int {
+	total := 0
+	for _, m := range d.out {
+		total += len(m)
+	}
+	return total
+}
+
+// SymmetricClosure returns the smallest symmetric (undirected) graph
+// containing every arc: {u,v} is an edge iff u→v or v→u. This is the
+// paper's E_α.
+func (d *Digraph) SymmetricClosure() *Graph {
+	g := New(d.n)
+	for u := 0; u < d.n; u++ {
+		for v := range d.out[u] {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// MutualSubgraph returns the largest symmetric graph contained in the
+// arc set: {u,v} is an edge iff both u→v and v→u. This is the paper's
+// E⁻_α, used by the asymmetric edge removal optimization (§3.2).
+func (d *Digraph) MutualSubgraph() *Graph {
+	g := New(d.n)
+	for u := 0; u < d.n; u++ {
+		for v := range d.out[u] {
+			if u < v && d.HasArc(v, u) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// AsymmetricArcs returns every arc u→v whose reverse v→u is absent, in
+// canonical order. These are the arcs the asymmetric-removal protocol
+// message ("remove me from your neighbor set") travels along.
+func (d *Digraph) AsymmetricArcs() []Edge {
+	var arcs []Edge
+	for u := 0; u < d.n; u++ {
+		for v := range d.out[u] {
+			if !d.HasArc(v, u) {
+				arcs = append(arcs, Edge{U: u, V: v}) // directed: U→V
+			}
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].U != arcs[j].U {
+			return arcs[i].U < arcs[j].U
+		}
+		return arcs[i].V < arcs[j].V
+	})
+	return arcs
+}
+
+// Clone returns a deep copy.
+func (d *Digraph) Clone() *Digraph {
+	c := NewDigraph(d.n)
+	for u := 0; u < d.n; u++ {
+		for v := range d.out[u] {
+			c.out[u][v] = struct{}{}
+		}
+	}
+	return c
+}
+
+func (d *Digraph) check(u int) {
+	if u < 0 || u >= d.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", u, d.n))
+	}
+}

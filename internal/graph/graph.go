@@ -1,0 +1,180 @@
+// Package graph provides the graph substrate for topology control: the
+// directed neighbor relation N_α computed by CBTC, its symmetric closure
+// E_α and largest symmetric subset E⁻_α, connectivity queries (union-find
+// and BFS), shortest paths, and the degree/radius/stretch metrics reported
+// in the paper's evaluation.
+//
+// Nodes are dense integer indices 0..N-1, matching their position in the
+// placement slice used by the rest of the system.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between two node indices with U < V.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the canonical (ordered) edge between a and b.
+func NewEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Graph is an undirected simple graph over nodes 0..N-1.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// New returns an empty undirected graph with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+// It panics on out-of-range indices: edges come from trusted internal
+// computations and an out-of-range index is a programming error.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns the sorted neighbor list of u.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EachNeighbor calls fn for every neighbor of u in unspecified order.
+func (g *Graph) EachNeighbor(u int, fn func(v int)) {
+	g.check(u)
+	for v := range g.adj[u] {
+		fn(v)
+	}
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// Edges returns all edges in canonical order (sorted by U, then V).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.EdgeCount())
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			c.adj[u][v] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Equal reports whether two graphs have identical node and edge sets.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.n != o.n {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) != len(o.adj[u]) {
+			return false
+		}
+		for v := range g.adj[u] {
+			if _, ok := o.adj[u][v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSubgraphOf reports whether every edge of g is also an edge of o.
+func (g *Graph) IsSubgraphOf(o *Graph) bool {
+	if g.n != o.n {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if _, ok := o.adj[u][v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", u, g.n))
+	}
+}

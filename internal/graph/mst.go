@@ -1,0 +1,54 @@
+package graph
+
+import "sort"
+
+// MST returns a minimum spanning forest of g under the given edge
+// weights (Kruskal). For connected graphs this is the spanning tree
+// minimizing total weight; with Euclidean weights its maximum edge also
+// minimizes the maximum per-node transmission radius over all connected
+// topologies — the objective of Ramanathan & Rosales-Hain's centralized
+// algorithm, which the paper discusses as related work.
+func MST(g *Graph, w WeightFunc) *Graph {
+	type wedge struct {
+		e      Edge
+		weight float64
+	}
+	edges := g.Edges()
+	weighted := make([]wedge, len(edges))
+	for i, e := range edges {
+		weighted[i] = wedge{e: e, weight: w(e.U, e.V)}
+	}
+	sort.Slice(weighted, func(i, j int) bool {
+		if weighted[i].weight != weighted[j].weight {
+			return weighted[i].weight < weighted[j].weight
+		}
+		// Deterministic tiebreak on the canonical edge order.
+		if weighted[i].e.U != weighted[j].e.U {
+			return weighted[i].e.U < weighted[j].e.U
+		}
+		return weighted[i].e.V < weighted[j].e.V
+	})
+
+	out := New(g.Len())
+	uf := NewUnionFind(g.Len())
+	for _, we := range weighted {
+		if uf.Union(we.e.U, we.e.V) {
+			out.AddEdge(we.e.U, we.e.V)
+		}
+	}
+	return out
+}
+
+// BottleneckRadius returns the maximum edge weight of the minimum
+// spanning forest: the smallest uniform transmission radius that keeps
+// the graph's components connected. Returns 0 for edgeless graphs.
+func BottleneckRadius(g *Graph, w WeightFunc) float64 {
+	mst := MST(g, w)
+	var max float64
+	for _, e := range mst.Edges() {
+		if d := w(e.U, e.V); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// HopDistances returns the BFS hop count from src to every node, with -1
+// for unreachable nodes.
+func HopDistances(g *Graph, src int) []int {
+	dist := make([]int, g.Len())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.EachNeighbor(u, func(v int) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		})
+	}
+	return dist
+}
+
+// WeightFunc assigns a non-negative weight to the edge {u, v}.
+type WeightFunc func(u, v int) float64
+
+// ShortestPaths runs Dijkstra from src under the given edge weights and
+// returns the distance to every node (math.Inf(1) when unreachable).
+func ShortestPaths(g *Graph, src int, w WeightFunc) []float64 {
+	dist := make([]float64, g.Len())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue // stale entry
+		}
+		u := item.node
+		g.EachNeighbor(u, func(v int) {
+			if d := item.dist + w(u, v); d < dist[v] {
+				dist[v] = d
+				heap.Push(pq, distItem{node: v, dist: d})
+			}
+		})
+	}
+	return dist
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"math/rand/v2"
+
+	"cbtc/internal/radio"
+)
+
+// Context is the node-side API surface handed to Process callbacks.
+// It implements the paper's communication primitives:
+//
+//	bcast(u, p, m)   -> Broadcast
+//	send(u, p, m, v) -> Unicast
+//	recv(u, m, v)    -> Process.Recv
+type Context struct {
+	sim *Sim
+	id  int
+}
+
+// ID returns this node's ID.
+func (c *Context) ID() int { return c.id }
+
+// Now returns the current simulation time.
+func (c *Context) Now() float64 { return c.sim.now }
+
+// Model returns the radio model.
+func (c *Context) Model() radio.Model { return c.sim.opts.Model }
+
+// Rand returns the simulation PRNG. Processes must draw randomness only
+// from here to keep runs reproducible.
+func (c *Context) Rand() *rand.Rand { return c.sim.rng }
+
+// Broadcast transmits payload with the given power; every live node
+// within the power's range receives it (modulo channel loss). This is
+// the paper's bcast primitive.
+func (c *Context) Broadcast(power float64, payload interface{}) {
+	c.sim.transmit(c.id, power, payload, -1)
+}
+
+// Unicast transmits payload with the given power to a single node,
+// which receives it iff the power reaches its distance. This is the
+// paper's send primitive.
+func (c *Context) Unicast(to int, power float64, payload interface{}) {
+	c.sim.checkID(to)
+	c.sim.transmit(c.id, power, payload, to)
+}
+
+// SetTimer schedules a Timer callback on this node after delay time
+// units. Timers on crashed nodes never fire.
+func (c *Context) SetTimer(delay float64, kind int, data interface{}) {
+	id := c.id
+	s := c.sim
+	s.schedule(s.now+delay, func() {
+		if s.crashed[id] || s.procs[id] == nil {
+			return
+		}
+		s.procs[id].Timer(&Context{sim: s, id: id}, kind, data)
+	})
+}

@@ -1,0 +1,73 @@
+// Package netsim is a deterministic discrete-event simulator for
+// wireless multi-hop networks. It provides the communication primitives
+// the paper assumes (§2): power-bounded broadcast, unicast send, and
+// receive with measurable reception power and angle-of-arrival — plus the
+// failure modes of §4: crash failures, message loss, duplication, and
+// node mobility.
+//
+// Determinism: all scheduling is driven by a seeded PRNG and a total
+// (time, sequence) order on events, so a simulation is a pure function of
+// its inputs. Two runs with the same seed produce identical histories.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"cbtc/internal/radio"
+)
+
+// ErrBadOptions reports an invalid simulator configuration.
+var ErrBadOptions = errors.New("netsim: invalid options")
+
+// Options configures the simulator.
+type Options struct {
+	// Model is the propagation model; delivery succeeds iff the
+	// transmission power reaches the receiver's distance.
+	Model radio.Model
+	// Latency is the fixed portion of the delivery delay.
+	Latency float64
+	// Jitter adds a uniform random delay in [0, Jitter) per delivery.
+	Jitter float64
+	// DropProb is the probability that a delivery is lost (per receiver).
+	DropProb float64
+	// DupProb is the probability that a delivery is duplicated.
+	DupProb float64
+	// AoANoise is the standard deviation (radians) of Gaussian noise on
+	// measured bearings, modeling imperfect angle-of-arrival hardware.
+	AoANoise float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultOptions returns a reliable low-latency configuration for the
+// given radio model.
+func DefaultOptions(m radio.Model) Options {
+	return Options{Model: m, Latency: 1, Jitter: 0}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Model.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if o.Latency <= 0 {
+		return fmt.Errorf("%w: latency %v must be > 0", ErrBadOptions, o.Latency)
+	}
+	if o.Jitter < 0 {
+		return fmt.Errorf("%w: jitter %v must be ≥ 0", ErrBadOptions, o.Jitter)
+	}
+	if o.DropProb < 0 || o.DropProb >= 1 {
+		return fmt.Errorf("%w: drop probability %v must be in [0, 1)", ErrBadOptions, o.DropProb)
+	}
+	if o.DupProb < 0 || o.DupProb >= 1 {
+		return fmt.Errorf("%w: duplication probability %v must be in [0, 1)", ErrBadOptions, o.DupProb)
+	}
+	if o.AoANoise < 0 {
+		return fmt.Errorf("%w: AoA noise %v must be ≥ 0", ErrBadOptions, o.AoANoise)
+	}
+	return nil
+}
+
+// MaxDelay returns the worst-case one-way delivery delay.
+func (o Options) MaxDelay() float64 { return o.Latency + o.Jitter }

@@ -1,0 +1,303 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/radio"
+)
+
+// Process is the behavior installed on each node. The simulator calls
+// its methods sequentially; a process never runs concurrently with
+// itself or any other process.
+type Process interface {
+	// Init runs once when the simulation starts (or when the node is
+	// added to a running simulation).
+	Init(ctx *Context)
+	// Recv handles a delivered message.
+	Recv(ctx *Context, d Delivery)
+	// Timer handles an expired timer set through Context.SetTimer.
+	Timer(ctx *Context, kind int, data interface{})
+}
+
+// Delivery is a received message together with the physical-layer
+// measurements the paper assumes are available (§2): the transmission
+// power (carried in the message), the reception power, and the measured
+// angle of arrival.
+type Delivery struct {
+	// From is the sender's node ID.
+	From int
+	// TxPower is the power the message was transmitted with.
+	TxPower float64
+	// RxPower is the power the message arrived with after attenuation.
+	RxPower float64
+	// Bearing is the measured angle of arrival: the direction from the
+	// receiver toward the sender, plus configured measurement noise.
+	Bearing float64
+	// Payload is the message body.
+	Payload interface{}
+}
+
+// Stats counts simulator activity, for tests and reporting.
+type Stats struct {
+	Sent       int // transmit operations (broadcast or unicast)
+	Delivered  int // successful deliveries
+	Dropped    int // deliveries lost to the unreliable channel
+	Duplicated int // extra deliveries injected by duplication
+	Events     int // total events processed
+}
+
+// Sim is a deterministic discrete-event simulator.
+type Sim struct {
+	opts  Options
+	rng   *rand.Rand
+	now   float64
+	seq   uint64
+	queue eventHeap
+
+	pos     []geom.Point
+	procs   []Process
+	crashed []bool
+
+	stats    Stats
+	energyTx []float64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New builds a simulator over the given placement. Processes are
+// installed with SetProcess before Run.
+func New(pos []geom.Point, opts Options) (*Sim, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{
+		opts:     opts,
+		rng:      rand.New(rand.NewPCG(opts.Seed, 0x6a09e667f3bcc909)),
+		pos:      append([]geom.Point(nil), pos...),
+		procs:    make([]Process, len(pos)),
+		crashed:  make([]bool, len(pos)),
+		energyTx: make([]float64, len(pos)),
+	}, nil
+}
+
+// Energy returns the cumulative transmission energy node id has spent:
+// the sum of the powers of its transmit operations (each transmission
+// lasts one unit). The §5 discussion compares the energy CBTC(α)
+// expends during execution across cone angles.
+func (s *Sim) Energy(id int) float64 {
+	s.checkID(id)
+	return s.energyTx[id]
+}
+
+// TotalEnergy returns the network-wide transmission energy.
+func (s *Sim) TotalEnergy() float64 {
+	var sum float64
+	for _, e := range s.energyTx {
+		sum += e
+	}
+	return sum
+}
+
+// SetProcess installs the behavior of node id. It must be called before
+// the node participates; Init is scheduled at the current time.
+func (s *Sim) SetProcess(id int, p Process) {
+	s.checkID(id)
+	s.procs[id] = p
+	s.schedule(s.now, func() {
+		if !s.crashed[id] && s.procs[id] != nil {
+			s.procs[id].Init(&Context{sim: s, id: id})
+		}
+	})
+}
+
+// Len returns the number of nodes.
+func (s *Sim) Len() int { return len(s.pos) }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Position returns node id's current position.
+func (s *Sim) Position(id int) geom.Point {
+	s.checkID(id)
+	return s.pos[id]
+}
+
+// Model returns the radio model in effect.
+func (s *Sim) Model() radio.Model { return s.opts.Model }
+
+// Stats returns activity counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Crash marks node id as crash-failed: it stops sending, receiving and
+// processing timers, permanently.
+func (s *Sim) Crash(id int) {
+	s.checkID(id)
+	s.crashed[id] = true
+}
+
+// Crashed reports whether node id has crash-failed.
+func (s *Sim) Crashed(id int) bool {
+	s.checkID(id)
+	return s.crashed[id]
+}
+
+// MoveNode relocates node id immediately. In-flight messages are not
+// re-routed: delivery sets are computed at transmission time, modeling
+// signals already in the air.
+func (s *Sim) MoveNode(id int, to geom.Point) {
+	s.checkID(id)
+	s.pos[id] = to
+}
+
+// AddNode introduces a new node at the given position while the
+// simulation is running (§4: "new nodes may be added to the network").
+// It returns the new node's ID; install its behavior with SetProcess.
+// Until a process is installed the node neither sends nor receives.
+func (s *Sim) AddNode(at geom.Point) int {
+	id := len(s.pos)
+	s.pos = append(s.pos, at)
+	s.procs = append(s.procs, nil)
+	s.crashed = append(s.crashed, false)
+	s.energyTx = append(s.energyTx, 0)
+	return id
+}
+
+// ScheduleAt runs fn at the given absolute time. Tests and scenario
+// drivers use it to script crashes, moves, and assertions.
+func (s *Sim) ScheduleAt(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.schedule(t, fn)
+}
+
+// Run processes events until the queue empties or the simulation clock
+// passes `until`. It returns the number of events processed.
+func (s *Sim) Run(until float64) int {
+	processed := 0
+	for s.queue.Len() > 0 {
+		if s.queue[0].at > until {
+			break
+		}
+		ev := heap.Pop(&s.queue).(event)
+		s.now = ev.at
+		ev.fn()
+		processed++
+		s.stats.Events++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return processed
+}
+
+// RunUntilQuiet processes events until the queue drains, failing if the
+// clock passes maxTime first (a protocol that never converges).
+func (s *Sim) RunUntilQuiet(maxTime float64) error {
+	for s.queue.Len() > 0 {
+		if s.queue[0].at > maxTime {
+			return fmt.Errorf("netsim: still %d events pending at time %v (limit %v)",
+				s.queue.Len(), s.queue[0].at, maxTime)
+		}
+		ev := heap.Pop(&s.queue).(event)
+		s.now = ev.at
+		ev.fn()
+		s.stats.Events++
+	}
+	return nil
+}
+
+func (s *Sim) schedule(at float64, fn func()) {
+	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+func (s *Sim) checkID(id int) {
+	if id < 0 || id >= len(s.pos) {
+		panic(fmt.Sprintf("netsim: node %d out of range [0, %d)", id, len(s.pos)))
+	}
+}
+
+// transmit implements both broadcast and unicast: it delivers the
+// payload to every live node in `targets` reachable at txPower, applying
+// the unreliable-channel model.
+func (s *Sim) transmit(from int, txPower float64, payload interface{}, only int) {
+	if s.crashed[from] {
+		return
+	}
+	s.stats.Sent++
+	s.energyTx[from] += txPower
+	src := s.pos[from]
+	for to := range s.pos {
+		if to == from || s.crashed[to] || s.procs[to] == nil {
+			continue
+		}
+		if only >= 0 && to != only {
+			continue
+		}
+		d := src.Dist(s.pos[to])
+		if !s.opts.Model.Reaches(txPower, d) {
+			continue
+		}
+		if s.opts.DropProb > 0 && s.rng.Float64() < s.opts.DropProb {
+			s.stats.Dropped++
+			continue
+		}
+		s.deliverOnce(from, to, txPower, d, payload)
+		if s.opts.DupProb > 0 && s.rng.Float64() < s.opts.DupProb {
+			s.stats.Duplicated++
+			s.deliverOnce(from, to, txPower, d, payload)
+		}
+	}
+}
+
+func (s *Sim) deliverOnce(from, to int, txPower, dist float64, payload interface{}) {
+	delay := s.opts.Latency
+	if s.opts.Jitter > 0 {
+		delay += s.rng.Float64() * s.opts.Jitter
+	}
+	bearing := s.pos[to].Bearing(s.pos[from])
+	if s.opts.AoANoise > 0 {
+		bearing = geom.Normalize(bearing + s.rng.NormFloat64()*s.opts.AoANoise)
+	}
+	del := Delivery{
+		From:    from,
+		TxPower: txPower,
+		RxPower: s.opts.Model.ReceivedPower(txPower, dist),
+		Bearing: bearing,
+		Payload: payload,
+	}
+	s.schedule(s.now+delay, func() {
+		if s.crashed[to] || s.procs[to] == nil {
+			return
+		}
+		s.stats.Delivered++
+		s.procs[to].Recv(&Context{sim: s, id: to}, del)
+	})
+}

@@ -1,0 +1,374 @@
+package proto
+
+import (
+	"math"
+	"sort"
+
+	"cbtc/internal/core"
+	"cbtc/internal/geom"
+	"cbtc/internal/netsim"
+)
+
+// Timer kinds.
+const (
+	timerRound = iota + 1 // growing-phase round deadline
+	timerBeacon
+	timerLeaveScan
+)
+
+// Node is the per-node protocol state machine: the CBTC(α) growing
+// phase, the always-on Ack responder, asymmetric-removal notifications,
+// and (optionally) the NDP with reconfiguration.
+type Node struct {
+	cfg Config
+
+	// Growing phase.
+	growing    bool
+	power      float64 // current broadcast power
+	round      int     // growing rounds executed (across regrows)
+	finished   bool    // at least one growing phase completed
+	boundary   bool
+	growPower  float64 // p_{u,α} of the most recent completed phase
+	discovered map[int]core.Discovery
+
+	// Ack bookkeeping: nodes we Acked and the power needed to reach them
+	// (these are exactly the reverse edges of E_α under reliable
+	// channels: every Hello sender discovers us through our Ack).
+	ackedTo map[int]float64
+
+	// Asymmetric-removal notices received: neighbors to exclude when the
+	// runtime constructs E⁻_α.
+	removed map[int]bool
+
+	// NDP state.
+	reconf    *core.Reconfigurator
+	lastHeard map[int]float64
+	lastDir   map[int]float64
+
+	// Events observed, for tests and reporting.
+	Joins, Leaves, AngleChanges, Regrows int
+}
+
+// NewNode returns a protocol instance for one simulated node. The same
+// config must be used for every node of a network.
+func NewNode(cfg Config) *Node {
+	return &Node{
+		cfg:        cfg,
+		discovered: make(map[int]core.Discovery),
+		ackedTo:    make(map[int]float64),
+		removed:    make(map[int]bool),
+		lastHeard:  make(map[int]float64),
+		lastDir:    make(map[int]float64),
+	}
+}
+
+// Init starts the growing phase.
+func (n *Node) Init(ctx *netsim.Context) {
+	n.startGrowing(ctx, n.cfg.P0)
+}
+
+func (n *Node) startGrowing(ctx *netsim.Context, from float64) {
+	n.growing = true
+	n.power = math.Min(from, ctx.Model().MaxPower())
+	n.broadcastHello(ctx)
+}
+
+func (n *Node) broadcastHello(ctx *netsim.Context) {
+	n.round++
+	ctx.Broadcast(n.power, helloMsg{Power: n.power})
+	ctx.SetTimer(n.cfg.RoundDuration, timerRound, n.power)
+}
+
+// Recv dispatches on message type.
+func (n *Node) Recv(ctx *netsim.Context, d netsim.Delivery) {
+	switch msg := d.Payload.(type) {
+	case helloMsg:
+		n.onHello(ctx, d, msg)
+	case ackMsg:
+		n.onAck(ctx, d, msg)
+	case removeMsg:
+		n.removed[d.From] = true
+	case beaconMsg:
+		n.onBeacon(ctx, d)
+	}
+}
+
+// onHello answers every Hello with an Ack transmitted with exactly the
+// power needed to reach the sender, estimated from the transmission and
+// reception powers (the paper's §2 assumption).
+func (n *Node) onHello(ctx *netsim.Context, d netsim.Delivery, msg helloMsg) {
+	needed := ctx.Model().NeededPower(msg.Power, d.RxPower)
+	n.ackedTo[d.From] = needed
+	ctx.Unicast(d.From, needed, ackMsg{HelloPower: msg.Power})
+
+	// A finished node under asymmetric removal immediately tells Hello
+	// senders it never discovered to drop the asymmetric edge.
+	if n.cfg.AsymRemoval && n.finished && !n.growing {
+		if _, ok := n.discovered[d.From]; !ok {
+			ctx.Unicast(d.From, needed, removeMsg{})
+		}
+	}
+}
+
+// onAck records a discovery: the Ack's transmission power is what the
+// neighbor needs to reach us; by channel symmetry it is also what we
+// need to reach the neighbor. The discovery is tagged with the power of
+// the Hello round that solicited it, as the shrink-back optimization
+// requires.
+func (n *Node) onAck(ctx *netsim.Context, d netsim.Delivery, msg ackMsg) {
+	if _, ok := n.discovered[d.From]; ok {
+		return // duplicate (channel duplication or a re-grow round)
+	}
+	needed := ctx.Model().NeededPower(d.TxPower, d.RxPower)
+	disc := core.Discovery{
+		ID:    d.From,
+		Dist:  ctx.Model().EstimateDistance(d.TxPower, d.RxPower),
+		Dir:   d.Bearing,
+		Power: msg.HelloPower,
+	}
+	_ = needed // needed == PowerFor(disc.Dist); kept for clarity
+	n.discovered[d.From] = disc
+	if n.reconf != nil {
+		n.reconf.Join(disc)
+		// Track liveness from now on, or the leave scanner would never
+		// notice this neighbor failing before its first beacon.
+		n.lastHeard[d.From] = ctx.Now()
+		n.lastDir[d.From] = d.Bearing
+	}
+}
+
+// Timer dispatches on timer kind.
+func (n *Node) Timer(ctx *netsim.Context, kind int, data interface{}) {
+	switch kind {
+	case timerRound:
+		n.onRoundEnd(ctx, data.(float64))
+	case timerBeacon:
+		n.onBeaconTimer(ctx)
+	case timerLeaveScan:
+		n.onLeaveScan(ctx)
+	}
+}
+
+// onRoundEnd evaluates the gap-α test over everything discovered so far
+// and either grows the power or terminates the phase (Figure 1's while
+// loop condition).
+func (n *Node) onRoundEnd(ctx *netsim.Context, roundPower float64) {
+	if !n.growing || roundPower != n.power {
+		return // stale timer from an earlier round
+	}
+	maxPower := ctx.Model().MaxPower()
+	if geom.HasGap(n.directions(), n.cfg.Alpha) && n.power < maxPower {
+		n.power = math.Min(n.cfg.Increase(n.power), maxPower)
+		n.broadcastHello(ctx)
+		return
+	}
+	n.finishGrowing(ctx)
+}
+
+func (n *Node) finishGrowing(ctx *netsim.Context) {
+	n.growing = false
+	firstFinish := !n.finished
+	n.finished = true
+	n.growPower = n.power
+	n.boundary = geom.HasGap(n.directions(), n.cfg.Alpha)
+
+	if n.cfg.AsymRemoval {
+		// Tell every Hello sender we did not discover to drop the
+		// asymmetric edge (§3.2).
+		for v, needed := range n.ackedTo {
+			if _, ok := n.discovered[v]; !ok {
+				ctx.Unicast(v, needed, removeMsg{})
+			}
+		}
+	}
+
+	if n.cfg.EnableNDP && firstFinish {
+		n.reconf = core.NewReconfigurator(n.cfg.Alpha, ctx.Model(), n.Neighbors())
+		now := ctx.Now()
+		for id := range n.discovered {
+			n.lastHeard[id] = now
+			n.lastDir[id] = n.discovered[id].Dir
+		}
+		// Desynchronize beacons across nodes deterministically.
+		offset := n.cfg.BeaconPeriod * ctx.Rand().Float64()
+		ctx.SetTimer(offset, timerBeacon, nil)
+		ctx.SetTimer(n.cfg.BeaconPeriod+offset, timerLeaveScan, nil)
+	}
+}
+
+// --- NDP ---
+
+func (n *Node) onBeaconTimer(ctx *netsim.Context) {
+	ctx.Broadcast(n.beaconPower(ctx), beaconMsg{})
+	ctx.SetTimer(n.cfg.BeaconPeriod, timerBeacon, nil)
+}
+
+// beaconPower applies the configured §4 rule.
+func (n *Node) beaconPower(ctx *netsim.Context) float64 {
+	switch n.cfg.Beacons {
+	case BeaconShrunkPower:
+		// The buggy rule: power for the shrunk-back neighbor set only.
+		shrunk := core.ShrinkNeighbors(n.Neighbors(), n.cfg.Alpha)
+		var p float64
+		for _, d := range shrunk {
+			p = math.Max(p, ctx.Model().PowerFor(d.Dist))
+		}
+		if p == 0 {
+			p = n.cfg.P0
+		}
+		return p
+	default:
+		// Correct rule: reach every E_α neighbor (forward edges from the
+		// current table, reverse edges from the Hello senders we Acked),
+		// and the basic algorithm's power for boundary nodes.
+		p := 0.0
+		if n.reconf != nil {
+			for _, d := range n.reconf.Neighbors() {
+				p = math.Max(p, ctx.Model().PowerFor(d.Dist))
+			}
+		}
+		for _, needed := range n.ackedTo {
+			p = math.Max(p, needed)
+		}
+		if n.boundary {
+			p = math.Max(p, n.growPower)
+		}
+		if p == 0 {
+			p = n.growPower
+		}
+		return p
+	}
+}
+
+// onBeacon processes a neighbor's liveness beacon: join for unknown
+// senders, aChange when the bearing moved.
+func (n *Node) onBeacon(ctx *netsim.Context, d netsim.Delivery) {
+	if n.reconf == nil {
+		return // still growing; beacons are handled once NDP starts
+	}
+	id := d.From
+	n.lastHeard[id] = ctx.Now()
+
+	dist := ctx.Model().EstimateDistance(d.TxPower, d.RxPower)
+	needed := ctx.Model().NeededPower(d.TxPower, d.RxPower)
+
+	if !n.reconf.Has(id) {
+		n.Joins++
+		n.lastDir[id] = d.Bearing
+		disc := core.Discovery{ID: id, Dist: dist, Dir: d.Bearing, Power: needed}
+		n.discovered[id] = disc
+		n.reconf.Join(disc)
+		return
+	}
+	if geom.AngularDist(n.lastDir[id], d.Bearing) > n.cfg.AngleThreshold {
+		n.AngleChanges++
+		n.lastDir[id] = d.Bearing
+		if upd, ok := n.discovered[id]; ok {
+			upd.Dir = d.Bearing
+			upd.Dist = dist
+			n.discovered[id] = upd
+		}
+		if n.reconf.AngleChange(id, d.Bearing) == core.ActionRegrow {
+			n.regrow(ctx)
+		}
+	}
+}
+
+// onLeaveScan detects failed neighbors: no beacon for LeaveTimeout.
+func (n *Node) onLeaveScan(ctx *netsim.Context) {
+	now := ctx.Now()
+	var gone []int
+	for id, last := range n.lastHeard {
+		if now-last > n.cfg.LeaveTimeout {
+			gone = append(gone, id)
+		}
+	}
+	sort.Ints(gone) // deterministic processing order
+	needRegrow := false
+	for _, id := range gone {
+		n.Leaves++
+		delete(n.lastHeard, id)
+		delete(n.lastDir, id)
+		delete(n.discovered, id)
+		if n.reconf.Leave(id) == core.ActionRegrow {
+			needRegrow = true
+		}
+	}
+	if needRegrow {
+		n.regrow(ctx)
+	}
+	ctx.SetTimer(n.cfg.BeaconPeriod, timerLeaveScan, nil)
+}
+
+// regrow re-enters the growing phase from p(rad⁻_{u,α}) as §4
+// prescribes. The phase runs concurrently with beaconing.
+func (n *Node) regrow(ctx *netsim.Context) {
+	if n.growing {
+		return // already regrowing; the running phase will cover it
+	}
+	n.Regrows++
+	n.startGrowing(ctx, n.reconf.RegrowStartPower())
+}
+
+// --- State inspection (used by the runtime and tests) ---
+
+func (n *Node) directions() []float64 {
+	out := make([]float64, 0, len(n.discovered))
+	for _, d := range n.discovered {
+		out = append(out, d.Dir)
+	}
+	return out
+}
+
+// Neighbors returns the discovered set sorted by (Power, Dist, ID) — the
+// same order core uses.
+func (n *Node) Neighbors() []core.Discovery {
+	out := make([]core.Discovery, 0, len(n.discovered))
+	for _, d := range n.discovered {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Power != out[j].Power {
+			return out[i].Power < out[j].Power
+		}
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TableNeighbors returns the current reconfiguration table (the dynamic
+// neighbor set), or the discovered set when NDP is off.
+func (n *Node) TableNeighbors() []core.Discovery {
+	if n.reconf == nil {
+		return n.Neighbors()
+	}
+	return n.reconf.Neighbors()
+}
+
+// Finished reports whether the growing phase has completed at least
+// once.
+func (n *Node) Finished() bool { return n.finished }
+
+// Rounds returns the number of Hello broadcasts the node has performed
+// across all growing phases — the message-complexity figure of the
+// algorithm (at most ⌈log(P/p₀)⌉+1 per phase under a doubling schedule).
+func (n *Node) Rounds() int { return n.round }
+
+// Boundary reports whether the node finished with an α-gap.
+func (n *Node) Boundary() bool { return n.boundary }
+
+// GrowPower returns p_{u,α} of the most recent completed phase.
+func (n *Node) GrowPower() float64 { return n.growPower }
+
+// RemovedBy reports the asymmetric-removal notices received.
+func (n *Node) RemovedBy() []int {
+	out := make([]int, 0, len(n.removed))
+	for id := range n.removed {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,56 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSchedule reports an invalid power-growth schedule.
+var ErrBadSchedule = errors.New("radio: invalid power schedule")
+
+// Increase is the paper's power-growth function: given the current
+// broadcast power it returns the next, strictly larger one. The paper
+// only requires that Increaseᵏ(p0) = P for sufficiently large k and
+// suggests Increase(p) = 2p as the obvious choice.
+type Increase func(p float64) float64
+
+// Doubling returns the paper's suggested schedule Increase(p) = 2p.
+func Doubling() Increase {
+	return func(p float64) float64 { return 2 * p }
+}
+
+// Multiplicative returns Increase(p) = factor·p. Factors close to 1
+// discover neighbors in nearly exact distance order at the cost of more
+// growth rounds; the distributed executor uses this to approximate the
+// analysis's minimal-power semantics.
+func Multiplicative(factor float64) (Increase, error) {
+	if factor <= 1 {
+		return nil, fmt.Errorf("%w: factor %v must be > 1", ErrBadSchedule, factor)
+	}
+	return func(p float64) float64 { return factor * p }, nil
+}
+
+// Schedule enumerates the broadcast powers a node will use: p0,
+// Increase(p0), ... capped at maxPower (the final entry is exactly
+// maxPower). It returns an error if p0 is not in (0, maxPower] or the
+// schedule would not terminate.
+func Schedule(p0, maxPower float64, inc Increase) ([]float64, error) {
+	if p0 <= 0 || p0 > maxPower {
+		return nil, fmt.Errorf("%w: initial power %v not in (0, %v]", ErrBadSchedule, p0, maxPower)
+	}
+	var steps []float64
+	p := p0
+	for p < maxPower {
+		steps = append(steps, p)
+		next := inc(p)
+		if next <= p {
+			return nil, fmt.Errorf("%w: increase is not strictly growing at %v", ErrBadSchedule, p)
+		}
+		p = next
+		if len(steps) > 10_000 {
+			return nil, fmt.Errorf("%w: more than 10000 growth steps", ErrBadSchedule)
+		}
+	}
+	steps = append(steps, maxPower)
+	return steps, nil
+}

@@ -1,0 +1,86 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDoublingSchedule(t *testing.T) {
+	steps, err := Schedule(1, 16, Doubling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4, 8, 16}
+	if len(steps) != len(want) {
+		t.Fatalf("got %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Errorf("step %d = %v, want %v", i, steps[i], want[i])
+		}
+	}
+}
+
+func TestScheduleCapsAtMax(t *testing.T) {
+	steps, err := Schedule(3, 16, Doubling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3, 6, 12, then capped at 16.
+	if got := steps[len(steps)-1]; got != 16 {
+		t.Errorf("final step = %v, want exactly max power 16", got)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Errorf("schedule not strictly increasing at %d: %v", i, steps)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(0, 16, Doubling()); !errors.Is(err, ErrBadSchedule) {
+		t.Errorf("zero p0: err = %v, want ErrBadSchedule", err)
+	}
+	if _, err := Schedule(32, 16, Doubling()); !errors.Is(err, ErrBadSchedule) {
+		t.Errorf("p0 > max: err = %v, want ErrBadSchedule", err)
+	}
+	stuck := Increase(func(p float64) float64 { return p })
+	if _, err := Schedule(1, 16, stuck); !errors.Is(err, ErrBadSchedule) {
+		t.Errorf("non-growing increase: err = %v, want ErrBadSchedule", err)
+	}
+}
+
+func TestMultiplicative(t *testing.T) {
+	inc, err := Multiplicative(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inc(2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("inc(2) = %v, want 3", got)
+	}
+	if _, err := Multiplicative(1); !errors.Is(err, ErrBadSchedule) {
+		t.Errorf("factor 1 must be rejected, got %v", err)
+	}
+	if _, err := Multiplicative(0.5); !errors.Is(err, ErrBadSchedule) {
+		t.Errorf("factor < 1 must be rejected, got %v", err)
+	}
+}
+
+func TestFineScheduleReachesMaxQuickly(t *testing.T) {
+	inc, err := Multiplicative(1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default(500)
+	steps, err := Schedule(m.MaxPower()/1024, m.MaxPower(), inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || steps[len(steps)-1] != m.MaxPower() {
+		t.Fatalf("schedule must end exactly at max power, got %v steps", len(steps))
+	}
+	if len(steps) > 200 {
+		t.Errorf("schedule unexpectedly long: %d steps", len(steps))
+	}
+}

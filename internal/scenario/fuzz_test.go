@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the scenario JSON parser: arbitrary input must
+// either parse into a scenario that validates, or produce an error —
+// never panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{"maxRadius":500,"nodes":[[0,0],[300,0]]}`,
+		`{"maxRadius":500,"nodes":[[0,0]],"events":[{"at":1,"op":"check"}]}`,
+		`{"maxRadius":500,"nodes":[[0,0]],"events":[{"at":1,"op":"add","x":5,"y":5},{"at":2,"op":"crash","node":1}]}`,
+		`{"maxRadius":-1,"nodes":[[0,0]]}`,
+		`{}`,
+		`[]`,
+		`{"maxRadius":500,"nodes":[[0,0]],"events":[{"at":-5,"op":"check"}]}`,
+		"not json at all",
+		`{"maxRadius":1e308,"nodes":[[1e308,-1e308]]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-validate cleanly.
+		if err := s.Validate(); err != nil {
+			t.Errorf("Parse accepted a scenario Validate rejects: %v", err)
+		}
+	})
+}

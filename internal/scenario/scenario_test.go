@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validScenario() *Scenario {
+	return &Scenario{
+		MaxRadius: 500,
+		Nodes: [][2]float64{
+			{0, 0}, {300, 0}, {600, 0}, {900, 0},
+		},
+		Events: []Event{
+			{At: 50, Op: OpCheck, Label: "steady"},
+			{At: 100, Op: OpCrash, Node: 1},
+			{At: 300, Op: OpCheck, Label: "after crash"},
+			{At: 400, Op: OpAdd, X: 300, Y: 50},
+			{At: 700, Op: OpCheck, Label: "after replacement"},
+		},
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	js := `{
+		"maxRadius": 500,
+		"nodes": [[0,0],[300,0]],
+		"events": [
+			{"at": 10, "op": "move", "node": 1, "x": 100, "y": 0},
+			{"at": 20, "op": "check", "label": "closer"}
+		]
+	}`
+	s, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != 2 || len(s.Events) != 2 {
+		t.Errorf("parsed shape wrong: %+v", s)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		js   string
+	}{
+		{"unknown field", `{"maxRadius":500,"nodes":[[0,0]],"bogus":1}`},
+		{"missing radius", `{"nodes":[[0,0]]}`},
+		{"no nodes", `{"maxRadius":500,"nodes":[]}`},
+		{"unknown op", `{"maxRadius":500,"nodes":[[0,0]],"events":[{"at":1,"op":"explode"}]}`},
+		{"bad node ref", `{"maxRadius":500,"nodes":[[0,0]],"events":[{"at":1,"op":"crash","node":5}]}`},
+		{"negative time", `{"maxRadius":500,"nodes":[[0,0]],"events":[{"at":-1,"op":"check"}]}`},
+		{"not json", `hello`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.js)); !errors.Is(err, ErrBadScenario) {
+				t.Errorf("err = %v, want ErrBadScenario", err)
+			}
+		})
+	}
+}
+
+func TestAddGrowsNodeSpace(t *testing.T) {
+	// A crash referencing a node that only exists after an add must
+	// validate (adds are counted in timeline order).
+	s := &Scenario{
+		MaxRadius: 500,
+		Nodes:     [][2]float64{{0, 0}},
+		Events: []Event{
+			{At: 10, Op: OpAdd, X: 100, Y: 0},
+			{At: 20, Op: OpCrash, Node: 1},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("add-then-crash must validate: %v", err)
+	}
+	// But not when the crash comes first.
+	s.Events[0], s.Events[1] = Event{At: 10, Op: OpCrash, Node: 1}, Event{At: 20, Op: OpAdd, X: 100, Y: 0}
+	if err := s.Validate(); err == nil {
+		t.Errorf("crash-before-add must be rejected")
+	}
+}
+
+func TestRunChainCrashAndReplace(t *testing.T) {
+	report, err := Run(validScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Checkpoints) != 4 { // 3 explicit + final
+		t.Fatalf("checkpoints = %d, want 4", len(report.Checkpoints))
+	}
+	steady := report.Checkpoints[0]
+	if steady.Components != 1 || !steady.PartitionOK {
+		t.Errorf("steady state must be one correct component: %+v", steady)
+	}
+	afterCrash := report.Checkpoints[1]
+	if afterCrash.Components < 2 {
+		t.Errorf("crashing the chain's second node must split it: %+v", afterCrash)
+	}
+	if !afterCrash.PartitionOK {
+		t.Errorf("split topology must still match ground truth: %+v", afterCrash)
+	}
+	final := report.Checkpoints[3]
+	if !report.FinalOK {
+		t.Errorf("final topology mismatch: %+v", final)
+	}
+	// The replacement node restores a single live component (crashed
+	// node stays isolated).
+	if final.Components != 2 {
+		t.Errorf("final components = %d, want 2 (network + crashed node)", final.Components)
+	}
+	if report.Leaves == 0 || report.Joins == 0 {
+		t.Errorf("expected reconfiguration events, got %+v", report)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(validScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(validScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Checkpoints) != len(b.Checkpoints) {
+		t.Fatalf("nondeterministic checkpoint counts")
+	}
+	for i := range a.Checkpoints {
+		if a.Checkpoints[i] != b.Checkpoints[i] {
+			t.Errorf("checkpoint %d differs: %+v vs %+v", i, a.Checkpoints[i], b.Checkpoints[i])
+		}
+	}
+}
+
+func TestRunLossyScenario(t *testing.T) {
+	s := validScenario()
+	s.DropProb = 0.1
+	s.Seed = 7
+	s.RunUntil = 1500
+	report, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.FinalOK {
+		t.Errorf("lossy scenario must still converge: %+v", report)
+	}
+}

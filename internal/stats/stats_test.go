@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Errorf("empty sample must be all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of the classic dataset: sqrt(32/7).
+	if got, want := s.StdDev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, tt := range tests {
+		if got := s.Quantile(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	var empty Sample
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty quantile must be 0")
+	}
+}
+
+// Mean is always between min and max; stddev is non-negative.
+func TestSampleInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(math.Mod(v, 1e9))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Metric", "Paper", "Measured")
+	tb.AddRow("degree", "12.3", "12.1")
+	tb.AddRow("radius", "436.8") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Metric") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "12.3") || !strings.Contains(lines[2], "12.1") {
+		t.Errorf("row content missing: %q", lines[2])
+	}
+	// Columns aligned: "Paper" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "Paper")
+	if !strings.HasPrefix(lines[2][idx:], "12.3") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow("with\"quote", "x")
+	csv := tb.CSV()
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+	if Ratio(50, 100) != "50%" {
+		t.Errorf("Ratio = %q", Ratio(50, 100))
+	}
+	if Ratio(1, 0) != "-" {
+		t.Errorf("Ratio with zero paper value = %q", Ratio(1, 0))
+	}
+}

@@ -1,0 +1,140 @@
+// Package svgplot renders network topologies as standalone SVG
+// documents, reproducing the visual panels of the paper's Figure 6 with
+// only the standard library.
+package svgplot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/graph"
+)
+
+// Style configures the rendering.
+type Style struct {
+	// Width and Height are the SVG canvas size in pixels; zero means 600.
+	Width, Height int
+	// Margin is the canvas padding in pixels; zero means 20.
+	Margin int
+	// NodeRadius is the node dot radius in pixels; zero means 3.
+	NodeRadius float64
+	// EdgeColor and NodeColor are CSS colors; empty means #888 / #d33.
+	EdgeColor, NodeColor string
+	// Labels draws node indices next to the dots, as Figure 6 does.
+	Labels bool
+	// Title is drawn at the top of the canvas when non-empty.
+	Title string
+}
+
+func (s Style) withDefaults() Style {
+	if s.Width == 0 {
+		s.Width = 600
+	}
+	if s.Height == 0 {
+		s.Height = 600
+	}
+	if s.Margin == 0 {
+		s.Margin = 20
+	}
+	if s.NodeRadius == 0 {
+		s.NodeRadius = 3
+	}
+	if s.EdgeColor == "" {
+		s.EdgeColor = "#888888"
+	}
+	if s.NodeColor == "" {
+		s.NodeColor = "#d33030"
+	}
+	return s
+}
+
+// Render draws the graph over the placement and returns an SVG document.
+// Coordinates are fitted to the canvas preserving the aspect ratio, with
+// the Y axis flipped so the plot matches the usual mathematical
+// orientation.
+func Render(g *graph.Graph, pos []geom.Point, style Style) string {
+	st := style.withDefaults()
+	minX, minY, maxX, maxY := bounds(pos)
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	innerW := float64(st.Width - 2*st.Margin)
+	innerH := float64(st.Height - 2*st.Margin)
+	scale := innerW / spanX
+	if s := innerH / spanY; s < scale {
+		scale = s
+	}
+	tx := func(p geom.Point) (float64, float64) {
+		x := float64(st.Margin) + (p.X-minX)*scale
+		y := float64(st.Height) - float64(st.Margin) - (p.Y-minY)*scale
+		return x, y
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		st.Width, st.Height, st.Width, st.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if st.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			st.Margin, 14, escape(st.Title))
+	}
+
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		x1, y1 := tx(pos[e.U])
+		x2, y2 := tx(pos[e.V])
+		fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+			x1, y1, x2, y2, st.EdgeColor)
+	}
+	for i, p := range pos {
+		x, y := tx(p)
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s"/>`+"\n",
+			x, y, st.NodeRadius, st.NodeColor)
+		if st.Labels {
+			fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="8" fill="#333">%d</text>`+"\n",
+				x+st.NodeRadius+1, y-st.NodeRadius-1, i)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func bounds(pos []geom.Point) (minX, minY, maxX, maxY float64) {
+	if len(pos) == 0 {
+		return 0, 0, 1, 1
+	}
+	minX, minY = pos[0].X, pos[0].Y
+	maxX, maxY = pos[0].X, pos[0].Y
+	for _, p := range pos[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return minX, minY, maxX, maxY
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

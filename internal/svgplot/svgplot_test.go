@@ -1,0 +1,104 @@
+package svgplot
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cbtc/internal/geom"
+	"cbtc/internal/graph"
+)
+
+func sampleTopology() (*graph.Graph, []geom.Point) {
+	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(50, 80)}
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	return g, pos
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	g, pos := sampleTopology()
+	svg := Render(g, pos, Style{Title: "test <graph>"})
+
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Errorf("missing svg root: %q", svg[:60])
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Errorf("unterminated svg document")
+	}
+	if got := strings.Count(svg, "<line "); got != 2 {
+		t.Errorf("lines = %d, want 2 (one per edge)", got)
+	}
+	if got := strings.Count(svg, "<circle "); got != 3 {
+		t.Errorf("circles = %d, want 3 (one per node)", got)
+	}
+	if strings.Contains(svg, "<graph>") {
+		t.Errorf("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;graph&gt;") {
+		t.Errorf("escaped title missing")
+	}
+}
+
+func TestRenderLabels(t *testing.T) {
+	g, pos := sampleTopology()
+	svg := Render(g, pos, Style{Labels: true})
+	if got := strings.Count(svg, "<text "); got != 3 {
+		t.Errorf("labels = %d, want 3", got)
+	}
+	plain := Render(g, pos, Style{})
+	if strings.Contains(plain, "<text ") {
+		t.Errorf("labels drawn without Labels option")
+	}
+}
+
+func TestRenderCoordinatesInCanvas(t *testing.T) {
+	g, pos := sampleTopology()
+	svg := Render(g, pos, Style{Width: 300, Height: 200, Margin: 10})
+	// All coordinates must stay inside the canvas. Parse crudely.
+	for _, line := range strings.Split(svg, "\n") {
+		if !strings.HasPrefix(line, "<circle") {
+			continue
+		}
+		cx, cy := circleCenter(t, line)
+		if cx < 0 || cx > 300 || cy < 0 || cy > 200 {
+			t.Errorf("node outside canvas: %q", line)
+		}
+	}
+}
+
+// circleCenter extracts cx and cy from a rendered circle element.
+func circleCenter(t *testing.T, line string) (float64, float64) {
+	t.Helper()
+	attr := func(name string) float64 {
+		key := name + `="`
+		i := strings.Index(line, key)
+		if i < 0 {
+			t.Fatalf("attribute %q missing in %q", name, line)
+		}
+		rest := line[i+len(key):]
+		j := strings.IndexByte(rest, '"')
+		v, err := strconv.ParseFloat(rest[:j], 64)
+		if err != nil {
+			t.Fatalf("bad %s in %q: %v", name, line, err)
+		}
+		return v
+	}
+	return attr("cx"), attr("cy")
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	empty := Render(graph.New(0), nil, Style{})
+	if !strings.Contains(empty, "</svg>") {
+		t.Errorf("empty render must still be a document")
+	}
+	// All nodes at one point: no panic, no NaN coordinates.
+	pos := []geom.Point{geom.Pt(5, 5), geom.Pt(5, 5)}
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	svg := Render(g, pos, Style{})
+	if strings.Contains(svg, "NaN") {
+		t.Errorf("degenerate layout produced NaN coordinates")
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cbtc/internal/geom"
+)
+
+// Example21 builds the five-node configuration of Example 2.1 (Figure 2
+// of the paper), which shows that the neighbor relation N_α is not
+// symmetric for 2π/3 < α ≤ 5π/6: v discovers u0, but u0 finishes its
+// growing phase before reaching v.
+//
+// Node indices: u0=0, u1=1, u2=2, u3=3, v=4. The construction places
+// u1, u2 so that ∠v u0 u1 = ∠v u0 u2 = α/2 and ∠u1 v u0 = ∠u2 v u0 =
+// π/3−ε with ε = α/2 − π/3, exactly as in the paper.
+func Example21(alpha, r float64) ([]geom.Point, error) {
+	eps := alpha/2 - math.Pi/3
+	if eps <= 0 || eps > math.Pi/12 {
+		return nil, fmt.Errorf("workload: Example 2.1 requires 2π/3 < α ≤ 5π/6, got %v", alpha)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("workload: radius must be positive, got %v", r)
+	}
+	u0 := geom.Pt(0, 0)
+	v := geom.Pt(r, 0)
+	// Triangle u0-v-u1: angle π/3+ε at u0, π/3-ε at v, hence π/3 at u1.
+	// Law of sines gives d(u0,u1) = r·sin(π/3-ε)/sin(π/3) < r.
+	d01 := r * math.Sin(math.Pi/3-eps) / math.Sin(math.Pi/3)
+	u1 := u0.Polar(d01, math.Pi/3+eps)
+	u2 := u0.Polar(d01, -(math.Pi/3 + eps))
+	u3 := geom.Pt(-r/2, 0)
+	return []geom.Point{u0, u1, u2, u3, v}, nil
+}
+
+// Figure5 builds the eight-node two-cluster configuration of Figure 5
+// (Theorem 2.4): for α = 5π/6 + eps the only G_R edge between the
+// clusters, (u0, v0), disappears from G_α, disconnecting the network.
+//
+// Node indices: u0=0, u1=1, u2=2, u3=3, v0=4, v1=5, v2=6, v3=7. The
+// v-cluster is the point reflection of the u-cluster through the midpoint
+// of u0v0, which realizes the symmetric construction in the paper.
+// eps must be in (0, π/6) so that α < π.
+func Figure5(eps, r float64) ([]geom.Point, error) {
+	if eps <= 0 || eps >= math.Pi/6 {
+		return nil, fmt.Errorf("workload: Figure 5 requires eps in (0, π/6), got %v", eps)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("workload: radius must be positive, got %v", r)
+	}
+	alpha := 5*math.Pi/6 + eps
+
+	u0 := geom.Pt(0, 0)
+	v0 := geom.Pt(r, 0)
+	mid := u0.Midpoint(v0)
+
+	// u3 sits on the horizontal line through s' = (r/2, -√3r/2) — the
+	// lower intersection of the two radius-r circles — slightly to its
+	// left, so that its bearing from u0 is -(π/3+δ') with δ' < eps. Then
+	// ∠u3u0u1 = 5π/6+δ' < α and d(u0,u3) < r < d(v0,u3).
+	deltaPrime := math.Min(0.8*eps, math.Pi/24)
+	delta := r * (0.5 - (math.Sqrt(3)/2)/math.Tan(math.Pi/3+deltaPrime))
+	u3 := geom.Pt(r/2-delta, -math.Sqrt(3)*r/2)
+
+	// u1 is perpendicular above u0v0; its distance must be small enough
+	// that u1 stays out of range of v3 (which sits near s, at distance
+	// exactly r from u0). h < δ/√3 suffices; h = δ/4 leaves margin.
+	h := delta / 4
+	u1 := geom.Pt(0, h)
+
+	// u2 is at angle min(α, π) counterclockwise from u0u1, at distance
+	// r/2 (the paper's "for definiteness" choice).
+	u2 := u0.Polar(r/2, math.Pi/2+alpha)
+
+	// The v-cluster is the point reflection of the u-cluster.
+	v1 := u1.ReflectThrough(mid)
+	v2 := u2.ReflectThrough(mid)
+	v3 := u3.ReflectThrough(mid)
+
+	pos := []geom.Point{u0, u1, u2, u3, v0, v1, v2, v3}
+	if err := validateFigure5(pos, r); err != nil {
+		return nil, err
+	}
+	return pos, nil
+}
+
+// validateFigure5 checks the distance properties the proof of
+// Theorem 2.4 relies on: within each cluster every node is within r of
+// its cluster head, and the ONLY pair at distance ≤ r across clusters is
+// (u0, v0), at distance exactly r.
+func validateFigure5(pos []geom.Point, r float64) error {
+	const uCluster, vCluster = 4, 4
+	// Intra-cluster: cluster heads reach their members.
+	for i := 1; i < uCluster; i++ {
+		if d := pos[0].Dist(pos[i]); d >= r {
+			return fmt.Errorf("workload: Figure 5 invariant broken: d(u0,u%d) = %v ≥ r", i, d)
+		}
+		if d := pos[4].Dist(pos[4+i]); d >= r {
+			return fmt.Errorf("workload: Figure 5 invariant broken: d(v0,v%d) = %v ≥ r", i, d)
+		}
+	}
+	// Cross-cluster: only (u0, v0) is within range.
+	for i := 0; i < uCluster; i++ {
+		for j := 0; j < vCluster; j++ {
+			d := pos[i].Dist(pos[4+j])
+			if i == 0 && j == 0 {
+				if math.Abs(d-r) > 1e-9*r {
+					return fmt.Errorf("workload: d(u0,v0) = %v, want exactly r = %v", d, r)
+				}
+				continue
+			}
+			if d <= r {
+				return fmt.Errorf("workload: Figure 5 invariant broken: d(u%d,v%d) = %v ≤ r", i, j, d)
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionScenario is the §4 beacon-power counterexample: two clusters
+// out of range of each other whose boundary nodes have shrunk back to a
+// reduced power P' < P. When cluster G2 later drifts into range as a
+// whole — so that no node observes any leave or angle-change event, and
+// nothing triggers a regrow — nodes beaconing with P' never hear each
+// other and the network stays partitioned, while beaconing with the
+// basic algorithm's power P reconnects it.
+type PartitionScenario struct {
+	// Pos holds the initial positions; the first Half nodes form cluster
+	// G1, the rest G2.
+	Pos []geom.Point
+	// Half is the size of the first cluster.
+	Half int
+	// Shift is the translation applied to every G2 node at move time.
+	// Translating the whole cluster keeps intra-cluster distances and
+	// bearings unchanged: no join/leave/aChange fires inside G2.
+	Shift geom.Point
+}
+
+// NewPartitionScenario builds the scenario for a maximum radius r. Each
+// cluster is a compact triangle with side r/4; the initial gap between
+// clusters is almost 4r, and after the shift the nearest cross-cluster
+// pair sits at 0.8r — within radio range.
+func NewPartitionScenario(r float64) PartitionScenario {
+	d := r / 4
+	g1 := []geom.Point{
+		geom.Pt(0, 0),
+		geom.Pt(d, 0),
+		geom.Pt(d/2, d),
+	}
+	offset := 4 * r
+	g2 := []geom.Point{
+		geom.Pt(offset, 0),
+		geom.Pt(offset+d, 0),
+		geom.Pt(offset+d/2, d),
+	}
+	pos := append(append([]geom.Point{}, g1...), g2...)
+	// Target: G2's leftmost node ends up 0.8r to the right of G1's
+	// rightmost node at (d, 0).
+	target := d + 0.8*r
+	return PartitionScenario{
+		Pos:   pos,
+		Half:  len(g1),
+		Shift: geom.Pt(target-offset, 0),
+	}
+}
+
+// Moved returns the positions after applying the shift to cluster G2.
+func (s PartitionScenario) Moved() []geom.Point {
+	out := append([]geom.Point{}, s.Pos...)
+	for i := s.Half; i < len(out); i++ {
+		out[i] = out[i].Add(s.Shift)
+	}
+	return out
+}

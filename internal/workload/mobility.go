@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"cbtc/internal/geom"
+)
+
+// Waypoint is one scheduled position change: node Node is at position
+// Pos from time At onward.
+type Waypoint struct {
+	At   float64
+	Node int
+	Pos  geom.Point
+}
+
+// RandomWaypointTrace generates a random-waypoint mobility trace for n
+// nodes in a w×h region: each node repeatedly picks a destination
+// uniformly at random and moves toward it at the given speed; its
+// position is sampled every step time units until horizon. The returned
+// waypoints are sorted by time (stable within a step).
+//
+// The trace is a discretized position schedule rather than a continuous
+// model: the discrete-event simulator applies each update atomically,
+// which is exactly how a position-oblivious protocol perceives motion.
+func RandomWaypointTrace(rng *rand.Rand, start []geom.Point, w, h, speed, step, horizon float64) []Waypoint {
+	type walker struct {
+		at   geom.Point
+		dest geom.Point
+	}
+	walkers := make([]walker, len(start))
+	for i, p := range start {
+		walkers[i] = walker{at: p, dest: geom.Pt(rng.Float64()*w, rng.Float64()*h)}
+	}
+	var trace []Waypoint
+	for t := step; t <= horizon; t += step {
+		for i := range walkers {
+			wk := &walkers[i]
+			remaining := wk.at.Dist(wk.dest)
+			travel := speed * step
+			for travel >= remaining {
+				// Arrive and immediately pick the next destination.
+				wk.at = wk.dest
+				travel -= remaining
+				wk.dest = geom.Pt(rng.Float64()*w, rng.Float64()*h)
+				remaining = wk.at.Dist(wk.dest)
+				if remaining == 0 {
+					break
+				}
+			}
+			if remaining > 0 && travel > 0 {
+				dir := wk.at.Bearing(wk.dest)
+				wk.at = wk.at.Polar(travel, dir)
+			}
+			trace = append(trace, Waypoint{At: t, Node: i, Pos: wk.at})
+		}
+	}
+	return trace
+}

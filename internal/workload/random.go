@@ -1,0 +1,132 @@
+// Package workload generates the node placements the reproduction runs
+// on: the uniform random networks of the paper's evaluation (§5), a few
+// structured layouts for testing, the exact adversarial constructions of
+// Example 2.1 and Figure 5, the §4 partition scenario, and a
+// random-waypoint mobility model.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"cbtc/internal/geom"
+)
+
+// PaperRegionW, PaperRegionH and PaperRadius are the parameters of the
+// paper's evaluation: 100-node networks in a 1500×1500 region with
+// maximum transmission radius 500.
+const (
+	PaperRegionW = 1500.0
+	PaperRegionH = 1500.0
+	PaperRadius  = 500.0
+	PaperNodes   = 100
+)
+
+// Rand returns a deterministic PRNG for the given seed. Every generator
+// in this package takes an explicit *rand.Rand so experiments are
+// reproducible from a seed alone.
+func Rand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+}
+
+// Uniform places n nodes independently and uniformly at random in the
+// w×h rectangle — the placement model of the paper's §5.
+func Uniform(rng *rand.Rand, n int, w, h float64) []geom.Point {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Pt(rng.Float64()*w, rng.Float64()*h)
+	}
+	return pos
+}
+
+// PaperNetwork returns one network drawn from the paper's evaluation
+// distribution: PaperNodes uniform nodes in the paper's region.
+func PaperNetwork(seed uint64) []geom.Point {
+	return Uniform(Rand(seed), PaperNodes, PaperRegionW, PaperRegionH)
+}
+
+// Clustered places n nodes in k Gaussian clusters with the given spread,
+// clamped to the w×h rectangle. Cluster centers are uniform.
+func Clustered(rng *rand.Rand, n, k int, spread, w, h float64) []geom.Point {
+	if k < 1 {
+		k = 1
+	}
+	centers := Uniform(rng, k, w, h)
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		c := centers[i%k]
+		p := geom.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread)
+		pos[i] = clamp(p, w, h)
+	}
+	return pos
+}
+
+// Grid places nodes on a ⌈√n⌉×⌈√n⌉ lattice filling the w×h rectangle,
+// with uniform jitter of ±jitter in each coordinate.
+func Grid(rng *rand.Rand, n int, jitter, w, h float64) []geom.Point {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	pos := make([]geom.Point, 0, n)
+	dx, dy := w/float64(side+1), h/float64(side+1)
+	for row := 0; row < side && len(pos) < n; row++ {
+		for col := 0; col < side && len(pos) < n; col++ {
+			p := geom.Pt(
+				dx*float64(col+1)+(rng.Float64()*2-1)*jitter,
+				dy*float64(row+1)+(rng.Float64()*2-1)*jitter,
+			)
+			pos = append(pos, clamp(p, w, h))
+		}
+	}
+	return pos
+}
+
+// Chain places n nodes on a horizontal line with the given spacing —
+// a worst case for topology control (every node is a boundary node).
+func Chain(n int, spacing float64) []geom.Point {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Pt(float64(i)*spacing, 0)
+	}
+	return pos
+}
+
+// Ring places n nodes evenly on a circle of the given radius centered in
+// the w×h rectangle.
+func Ring(n int, radius, w, h float64) []geom.Point {
+	center := geom.Pt(w/2, h/2)
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		theta := geom.TwoPi * float64(i) / float64(n)
+		pos[i] = center.Polar(radius, theta)
+	}
+	return pos
+}
+
+func clamp(p geom.Point, w, h float64) geom.Point {
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.X > w {
+		p.X = w
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y > h {
+		p.Y = h
+	}
+	return p
+}
+
+// Validate sanity-checks generator parameters shared by callers.
+func Validate(n int, w, h float64) error {
+	if n < 0 {
+		return fmt.Errorf("workload: negative node count %d", n)
+	}
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("workload: non-positive region %vx%v", w, h)
+	}
+	return nil
+}

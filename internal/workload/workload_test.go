@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cbtc/internal/geom"
+)
+
+func TestUniformInBounds(t *testing.T) {
+	rng := Rand(1)
+	pos := Uniform(rng, 500, 1500, 900)
+	if len(pos) != 500 {
+		t.Fatalf("got %d nodes, want 500", len(pos))
+	}
+	for i, p := range pos {
+		if p.X < 0 || p.X >= 1500 || p.Y < 0 || p.Y >= 900 {
+			t.Errorf("node %d out of bounds: %v", i, p)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(Rand(42), 50, 100, 100)
+	b := Uniform(Rand(42), 50, 100, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different placements at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Uniform(Rand(43), 50, 100, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical placements")
+	}
+}
+
+func TestPaperNetwork(t *testing.T) {
+	pos := PaperNetwork(7)
+	if len(pos) != PaperNodes {
+		t.Fatalf("got %d nodes, want %d", len(pos), PaperNodes)
+	}
+	for i, p := range pos {
+		if p.X < 0 || p.X > PaperRegionW || p.Y < 0 || p.Y > PaperRegionH {
+			t.Errorf("node %d out of region: %v", i, p)
+		}
+	}
+}
+
+func TestClusteredInBounds(t *testing.T) {
+	pos := Clustered(Rand(3), 200, 5, 50, 1000, 1000)
+	if len(pos) != 200 {
+		t.Fatalf("got %d nodes, want 200", len(pos))
+	}
+	for i, p := range pos {
+		if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+			t.Errorf("node %d out of bounds: %v", i, p)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	pos := Grid(Rand(5), 16, 0, 100, 100)
+	if len(pos) != 16 {
+		t.Fatalf("got %d nodes, want 16", len(pos))
+	}
+	// Zero jitter: nodes on a 4x4 lattice with spacing 20.
+	if !almostEq(pos[0].X, 20, 1e-9) || !almostEq(pos[0].Y, 20, 1e-9) {
+		t.Errorf("first grid point = %v, want (20,20)", pos[0])
+	}
+	if !almostEq(pos[15].X, 80, 1e-9) || !almostEq(pos[15].Y, 80, 1e-9) {
+		t.Errorf("last grid point = %v, want (80,80)", pos[15])
+	}
+}
+
+func TestChainAndRing(t *testing.T) {
+	chain := Chain(5, 10)
+	if len(chain) != 5 || chain[4] != geom.Pt(40, 0) {
+		t.Errorf("Chain = %v", chain)
+	}
+	ring := Ring(8, 100, 1000, 1000)
+	center := geom.Pt(500, 500)
+	for i, p := range ring {
+		if !almostEq(center.Dist(p), 100, 1e-9) {
+			t.Errorf("ring node %d at distance %v, want 100", i, center.Dist(p))
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(10, 100, 100); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := Validate(-1, 100, 100); err == nil {
+		t.Errorf("negative n accepted")
+	}
+	if err := Validate(10, 0, 100); err == nil {
+		t.Errorf("zero width accepted")
+	}
+}
+
+func TestExample21Geometry(t *testing.T) {
+	alpha := 2*math.Pi/3 + 0.2 // ε = 0.1
+	r := 500.0
+	pos, err := Example21(alpha, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0, u1, u2, u3, v := pos[0], pos[1], pos[2], pos[3], pos[4]
+
+	if !almostEq(u0.Dist(v), r, 1e-9) {
+		t.Errorf("d(u0,v) = %v, want exactly r", u0.Dist(v))
+	}
+	// u1, u2 are strictly inside range of u0 but out of range of v.
+	for i, u := range []geom.Point{u1, u2} {
+		if d := u0.Dist(u); d >= r {
+			t.Errorf("d(u0,u%d) = %v, want < r", i+1, d)
+		}
+		if d := v.Dist(u); d <= r {
+			t.Errorf("d(v,u%d) = %v, want > r", i+1, d)
+		}
+	}
+	if d := u0.Dist(u3); !almostEq(d, r/2, 1e-9) {
+		t.Errorf("d(u0,u3) = %v, want r/2", d)
+	}
+	if d := v.Dist(u3); d <= r {
+		t.Errorf("d(v,u3) = %v, want > r", d)
+	}
+	// The construction pins ∠v u0 u1 = α/2 on both sides.
+	if got := geom.AngularDist(u0.Bearing(v), u0.Bearing(u1)); !almostEq(got, alpha/2, 1e-9) {
+		t.Errorf("∠v u0 u1 = %v, want α/2 = %v", got, alpha/2)
+	}
+	if got := geom.AngularDist(u0.Bearing(v), u0.Bearing(u2)); !almostEq(got, alpha/2, 1e-9) {
+		t.Errorf("∠v u0 u2 = %v, want α/2 = %v", got, alpha/2)
+	}
+}
+
+func TestExample21Rejections(t *testing.T) {
+	if _, err := Example21(2*math.Pi/3, 500); err == nil {
+		t.Errorf("α = 2π/3 must be rejected (needs ε > 0)")
+	}
+	if _, err := Example21(5*math.Pi/6+0.1, 500); err == nil {
+		t.Errorf("α > 5π/6 must be rejected")
+	}
+	if _, err := Example21(2.5, -1); err == nil {
+		t.Errorf("negative radius must be rejected")
+	}
+}
+
+func TestFigure5Geometry(t *testing.T) {
+	for _, eps := range []float64{0.01, 0.05, 0.1, 0.3, 0.5} {
+		pos, err := Figure5(eps, 500)
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if len(pos) != 8 {
+			t.Fatalf("eps=%v: got %d nodes, want 8", eps, len(pos))
+		}
+		// The construction self-validates; spot-check the symmetry: the
+		// v-cluster is the point reflection of the u-cluster.
+		mid := pos[0].Midpoint(pos[4])
+		for i := 0; i < 4; i++ {
+			want := pos[i].ReflectThrough(mid)
+			if pos[4+i].Dist(want) > 1e-6 {
+				t.Errorf("eps=%v: v%d = %v, want reflection %v", eps, i, pos[4+i], want)
+			}
+		}
+	}
+}
+
+func TestFigure5Rejections(t *testing.T) {
+	if _, err := Figure5(0, 500); err == nil {
+		t.Errorf("eps = 0 must be rejected")
+	}
+	if _, err := Figure5(math.Pi/6, 500); err == nil {
+		t.Errorf("eps = π/6 must be rejected")
+	}
+	if _, err := Figure5(0.1, 0); err == nil {
+		t.Errorf("zero radius must be rejected")
+	}
+}
+
+// For every valid α the Example 2.1 construction keeps its invariants.
+func TestExample21InvariantProperty(t *testing.T) {
+	f := func(frac float64) bool {
+		if math.IsNaN(frac) {
+			return true
+		}
+		eps := math.Mod(math.Abs(frac), 1)*(math.Pi/12-1e-3) + 1e-3
+		alpha := 2*math.Pi/3 + 2*eps
+		pos, err := Example21(alpha, 100)
+		if err != nil {
+			return false
+		}
+		u0, v := pos[0], pos[4]
+		// u1, u2 always strictly between u0 and out of v's reach.
+		return pos[1].Dist(u0) < 100 && pos[1].Dist(v) > 100 &&
+			pos[2].Dist(u0) < 100 && pos[2].Dist(v) > 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionScenario(t *testing.T) {
+	const r = 500.0
+	s := NewPartitionScenario(r)
+	if len(s.Pos) != 6 || s.Half != 3 {
+		t.Fatalf("unexpected scenario shape: %+v", s)
+	}
+	// Initially every cross-cluster pair is far out of range.
+	for i := 0; i < s.Half; i++ {
+		for j := s.Half; j < len(s.Pos); j++ {
+			if d := s.Pos[i].Dist(s.Pos[j]); d <= 2*r {
+				t.Errorf("cross pair (%d,%d) at %v, want > 2r", i, j, d)
+			}
+		}
+	}
+	moved := s.Moved()
+	// The shift preserves intra-cluster geometry exactly.
+	for i := s.Half; i < len(moved); i++ {
+		for j := i + 1; j < len(moved); j++ {
+			if !almostEq(moved[i].Dist(moved[j]), s.Pos[i].Dist(s.Pos[j]), 1e-9) {
+				t.Errorf("intra-G2 distance changed by the shift")
+			}
+		}
+	}
+	// After the move at least one cross pair is within range, and the
+	// nearest pair sits at 0.8r.
+	minCross := math.Inf(1)
+	for i := 0; i < s.Half; i++ {
+		for j := s.Half; j < len(moved); j++ {
+			if d := moved[i].Dist(moved[j]); d < minCross {
+				minCross = d
+			}
+		}
+	}
+	if !almostEq(minCross, 0.8*r, 1e-6) {
+		t.Errorf("nearest cross pair after move = %v, want 0.8r = %v", minCross, 0.8*r)
+	}
+}
+
+func TestRandomWaypointTrace(t *testing.T) {
+	rng := Rand(11)
+	start := Uniform(rng, 5, 1000, 1000)
+	trace := RandomWaypointTrace(rng, start, 1000, 1000, 50, 1, 10)
+	if len(trace) != 5*10 {
+		t.Fatalf("got %d waypoints, want 50", len(trace))
+	}
+	lastT := 0.0
+	lastPos := append([]geom.Point{}, start...)
+	for _, wp := range trace {
+		if wp.At < lastT {
+			t.Fatalf("trace not time-sorted")
+		}
+		lastT = wp.At
+		if wp.Pos.X < 0 || wp.Pos.X > 1000 || wp.Pos.Y < 0 || wp.Pos.Y > 1000 {
+			t.Errorf("waypoint out of bounds: %+v", wp)
+		}
+		// Max displacement per step is speed*step = 50.
+		if d := lastPos[wp.Node].Dist(wp.Pos); d > 50+1e-6 {
+			t.Errorf("node %d jumped %v > speed*step", wp.Node, d)
+		}
+		lastPos[wp.Node] = wp.Pos
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

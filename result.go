@@ -1,0 +1,120 @@
+package cbtc
+
+import (
+	"cbtc/internal/core"
+	"cbtc/internal/graph"
+	"cbtc/internal/radio"
+)
+
+// Result is the outcome of a topology-control run.
+type Result struct {
+	// G is the final symmetric communication graph.
+	G *Graph
+	// GR is the maximum-power graph the run started from; G is always a
+	// subgraph of GR and (for α ≤ 5π/6) preserves its connectivity.
+	GR *Graph
+	// Pos echoes the input placement; node i sits at Pos[i].
+	Pos []Point
+	// Radii holds each node's transmission radius in G: the distance to
+	// its farthest neighbor (0 for isolated nodes).
+	Radii []float64
+	// Powers holds p_{u,α}: each node's final growing-phase power.
+	Powers []float64
+	// Boundary flags nodes that still had an α-gap at maximum power.
+	Boundary []bool
+	// AvgDegree and AvgRadius are the two statistics of the paper's
+	// Table 1.
+	AvgDegree float64
+	// AvgRadius is the mean of Radii.
+	AvgRadius float64
+
+	topo  *core.Topology
+	model radio.Model
+}
+
+func newResult(nodes []Point, m radio.Model, topo *core.Topology) *Result {
+	n := len(nodes)
+	r := &Result{
+		G:        topo.G,
+		GR:       core.MaxPowerGraph(nodes, m),
+		Pos:      append([]Point(nil), nodes...),
+		Radii:    make([]float64, n),
+		Powers:   make([]float64, n),
+		Boundary: make([]bool, n),
+		topo:     topo,
+		model:    m,
+	}
+	for u := 0; u < n; u++ {
+		r.Radii[u] = topo.Radius(u)
+		r.Powers[u] = topo.Exec.Nodes[u].GrowPower
+		r.Boundary[u] = topo.Exec.Nodes[u].Boundary
+	}
+	s := topo.Summarize()
+	r.AvgDegree = s.AvgDegree
+	r.AvgRadius = s.AvgRadius
+	return r
+}
+
+// Components returns the number of connected components of G.
+func (r *Result) Components() int { return graph.ComponentCount(r.G) }
+
+// PreservesConnectivity reports whether G induces exactly the same
+// component partition as GR — the guarantee of Theorem 2.1.
+func (r *Result) PreservesConnectivity() bool {
+	return graph.SamePartition(r.GR, r.G)
+}
+
+// BoundaryCount returns the number of boundary nodes.
+func (r *Result) BoundaryCount() int {
+	n := 0
+	for _, b := range r.Boundary {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// BeaconPower returns the §4 beacon power node u must use so that
+// dynamic reconfiguration preserves connectivity under the configured
+// optimization stack. It is only meaningful for results produced by Run
+// or Simulate (the max-power baseline simply beacons at max power).
+func (r *Result) BeaconPower(u int) float64 {
+	if r.topo == nil {
+		return r.model.MaxPower()
+	}
+	return r.topo.BeaconPower(u)
+}
+
+// PowerCost returns the transmission power corresponding to a radius
+// under the run's path-loss model: p(d) = d^n.
+func (r *Result) PowerCost(radius float64) float64 { return r.model.PowerFor(radius) }
+
+// PowerStretch returns the worst-case ratio between minimum-energy route
+// costs in G versus GR, using p(d) = d^n per hop. The paper's §1 cites a
+// k+2k·sin(α/2)-competitiveness bound for α ≤ π/2; this measures the
+// actual value.
+func (r *Result) PowerStretch() float64 {
+	return graph.Stretch(r.GR, r.G, graph.PowerWeight(r.Pos, r.model.Exponent))
+}
+
+// DistanceStretch returns the worst-case ratio between shortest route
+// lengths (in Euclidean distance) in G versus GR.
+func (r *Result) DistanceStretch() float64 {
+	return graph.Stretch(r.GR, r.G, graph.EuclideanWeight(r.Pos))
+}
+
+// HopStretch returns the worst-case ratio between hop counts in G versus
+// GR.
+func (r *Result) HopStretch() float64 {
+	return graph.HopStretch(r.GR, r.G)
+}
+
+// RemovedRedundant returns the edges deleted by pairwise edge removal
+// (empty unless PairwiseRemoval was enabled).
+func (r *Result) RemovedRedundant() []Edge {
+	if r.topo == nil {
+		return nil
+	}
+	return append([]Edge(nil), r.topo.RemovedRedundant...)
+}
