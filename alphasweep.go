@@ -1,12 +1,10 @@
 package cbtc
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"cbtc/internal/core"
-	"cbtc/internal/graph"
-	"cbtc/internal/radio"
 	"cbtc/internal/stats"
 	"cbtc/internal/workload"
 )
@@ -45,11 +43,18 @@ type AlphaSweepRow struct {
 	Connected float64
 }
 
-// RunAlphaSweep measures the basic algorithm across cone angles: the
-// trade-off curve behind the paper's choice of the two α values in
-// Table 1 (smaller α ⇒ more neighbors and power; larger α ⇒ sparser,
-// cheaper, until connectivity fails past 5π/6).
+// RunAlphaSweep sweeps with a background context; see
+// RunAlphaSweepContext.
 func RunAlphaSweep(params AlphaSweepParams) ([]AlphaSweepRow, error) {
+	return RunAlphaSweepContext(context.Background(), params)
+}
+
+// RunAlphaSweepContext measures the basic algorithm across cone angles:
+// the trade-off curve behind the paper's choice of the two α values in
+// Table 1 (smaller α ⇒ more neighbors and power; larger α ⇒ sparser,
+// cheaper, until connectivity fails past 5π/6). Each angle gets its own
+// Engine and the shared placements run through Engine.RunBatch.
+func RunAlphaSweepContext(ctx context.Context, params AlphaSweepParams) ([]AlphaSweepRow, error) {
 	p := params
 	if p.Networks == 0 {
 		p.Networks = 20
@@ -72,29 +77,27 @@ func RunAlphaSweep(params AlphaSweepParams) ([]AlphaSweepRow, error) {
 			p.Alphas = append(p.Alphas, lo+(hi-lo)*float64(i)/11)
 		}
 	}
-	m, err := radio.NewModel(radio.FreeSpaceExponent, p.MaxRadius, 1)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	placements := make([][]Point, p.Networks)
+	for i := range placements {
+		placements[i] = workload.Uniform(workload.Rand(p.Seed+uint64(i)), p.Nodes, p.Width, p.Height)
 	}
 
 	rows := make([]AlphaSweepRow, 0, len(p.Alphas))
 	for _, alpha := range p.Alphas {
+		eng, err := New(WithMaxRadius(p.MaxRadius), WithAlpha(alpha))
+		if err != nil {
+			return nil, err
+		}
+		batch, err := eng.RunBatch(ctx, placements)
+		if err != nil {
+			return nil, err
+		}
 		var degree, radius, boundary, connected stats.Sample
-		for net := 0; net < p.Networks; net++ {
-			pos := workload.Uniform(workload.Rand(p.Seed+uint64(net)), p.Nodes, p.Width, p.Height)
-			exec, err := core.Run(pos, m, alpha)
-			if err != nil {
-				return nil, err
-			}
-			topo, err := core.BuildTopology(exec, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			s := topo.Summarize()
-			degree.Add(s.AvgDegree)
-			radius.Add(s.AvgRadius)
-			boundary.Add(float64(s.BoundaryNodes) / float64(p.Nodes))
-			if graph.SamePartition(core.MaxPowerGraph(pos, m), topo.G) {
+		for _, res := range batch {
+			degree.Add(res.AvgDegree)
+			radius.Add(res.AvgRadius)
+			boundary.Add(float64(res.BoundaryCount()) / float64(p.Nodes))
+			if res.PreservesConnectivity() {
 				connected.Add(1)
 			} else {
 				connected.Add(0)

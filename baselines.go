@@ -1,6 +1,7 @@
 package cbtc
 
 import (
+	"context"
 	"fmt"
 
 	"cbtc/internal/baseline"
@@ -48,17 +49,15 @@ func BaselineKinds() []BaselineKind {
 	return []BaselineKind{BaselineRNG, BaselineGabriel, BaselineYao6, BaselineMinMaxRadius}
 }
 
-// RunBaseline builds the selected position-based topology over the
-// placement, restricted to the maximum-power graph of cfg. The Result
+// Baseline builds the selected position-based topology over the
+// placement, restricted to the engine's maximum-power graph. The Result
 // carries the same metrics as a CBTC run, so the comparators slot into
-// the same analyses. Optimization flags in cfg are ignored — baselines
-// have their own construction rules.
-func RunBaseline(kind BaselineKind, nodes []Point, cfg Config) (*Result, error) {
-	cfg, m, _, err := cfg.resolve()
-	if err != nil {
-		return nil, err
-	}
+// the same analyses. The engine's optimization stack does not apply —
+// baselines have their own construction rules.
+func (e *Engine) Baseline(kind BaselineKind, nodes []Point) (*Result, error) {
+	m := e.model
 	var g *graph.Graph
+	var err error
 	switch kind {
 	case BaselineRNG:
 		g = baseline.RNG(nodes, m.MaxRadius)
@@ -75,6 +74,41 @@ func RunBaseline(kind BaselineKind, nodes []Point, cfg Config) (*Result, error) 
 		return nil, fmt.Errorf("%w: unknown baseline %v", ErrBadConfig, kind)
 	}
 	return baselineResult(nodes, m, g), nil
+}
+
+// BetaSkeleton builds the lune-based β-skeleton over the placement for
+// β ≥ 1 — the G_β family the paper cites alongside the RNG (β = 2) and
+// the Gabriel graph (β = 1). Connectivity of the max-power graph is
+// preserved for β ≤ 2 (the skeleton then contains the Euclidean MST).
+func (e *Engine) BetaSkeleton(beta float64, nodes []Point) (*Result, error) {
+	g, err := baseline.BetaSkeleton(nodes, e.model.MaxRadius, beta)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return baselineResult(nodes, e.model, g), nil
+}
+
+// RunBaseline builds the selected position-based topology using a
+// throwaway Engine.
+//
+// Deprecated: build an Engine with New and call Engine.Baseline.
+func RunBaseline(kind BaselineKind, nodes []Point, cfg Config) (*Result, error) {
+	eng, err := New(WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return eng.Baseline(kind, nodes)
+}
+
+// RunBetaSkeleton builds the β-skeleton using a throwaway Engine.
+//
+// Deprecated: build an Engine with New and call Engine.BetaSkeleton.
+func RunBetaSkeleton(beta float64, nodes []Point, cfg Config) (*Result, error) {
+	eng, err := New(WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return eng.BetaSkeleton(beta, nodes)
 }
 
 func baselineResult(nodes []Point, m radio.Model, g *graph.Graph) *Result {
@@ -103,18 +137,72 @@ func baselineResult(nodes []Point, m radio.Model, g *graph.Graph) *Result {
 	return res
 }
 
-// RunBetaSkeleton builds the lune-based β-skeleton over the placement
-// for β ≥ 1 — the G_β family the paper cites alongside the RNG (β = 2)
-// and the Gabriel graph (β = 1). Connectivity of the max-power graph is
-// preserved for β ≤ 2 (the skeleton then contains the Euclidean MST).
-func RunBetaSkeleton(beta float64, nodes []Point, cfg Config) (*Result, error) {
-	cfg, m, _, err := cfg.resolve()
+// ComparisonRow is one topology in a CompareBaselines report.
+type ComparisonRow struct {
+	// Name labels the topology.
+	Name string
+	// NeedsPositions reports whether the construction requires exact
+	// coordinates (every baseline does; CBTC does not).
+	NeedsPositions bool
+	// Result carries the topology and its metrics.
+	Result *Result
+}
+
+// CompareBaselines runs CBTC (max power, basic 5π/6, all-ops at both
+// cone angles) next to every position-based comparator on the same
+// placement, fanning the independent constructions across the batch
+// worker pool. Only cfg's radio-model fields are read — MaxRadius and
+// PathLossExponent; Alpha and the optimization flags are ignored, as
+// each row fixes its own cone angle and stack.
+func CompareBaselines(ctx context.Context, nodes []Point, cfg Config) ([]ComparisonRow, error) {
+	base := Config{MaxRadius: cfg.MaxRadius, PathLossExponent: cfg.PathLossExponent}
+	cfg23 := base
+	cfg23.Alpha = AlphaAsymmetric
+
+	type spec struct {
+		name           string
+		needsPositions bool
+		run            func(ctx context.Context, eng *Engine) (*Result, error)
+		cfg            Config
+	}
+	specs := []spec{
+		{"max power", false, func(_ context.Context, eng *Engine) (*Result, error) {
+			return eng.MaxPower(nodes)
+		}, base},
+		{"CBTC basic 5π/6", false, func(ctx context.Context, eng *Engine) (*Result, error) {
+			return eng.Run(ctx, nodes)
+		}, base},
+		{"CBTC all-ops 5π/6", false, func(ctx context.Context, eng *Engine) (*Result, error) {
+			return eng.Run(ctx, nodes)
+		}, base.AllOptimizations()},
+		{"CBTC all-ops 2π/3", false, func(ctx context.Context, eng *Engine) (*Result, error) {
+			return eng.Run(ctx, nodes)
+		}, cfg23.AllOptimizations()},
+	}
+	for _, kind := range BaselineKinds() {
+		kind := kind
+		specs = append(specs, spec{kind.String() + " (positions)", true,
+			func(_ context.Context, eng *Engine) (*Result, error) {
+				return eng.Baseline(kind, nodes)
+			}, base})
+	}
+
+	rows := make([]ComparisonRow, len(specs))
+	err := forEachParallel(ctx, len(specs), 0, func(ctx context.Context, i int) error {
+		sp := specs[i]
+		eng, err := New(WithConfig(sp.cfg))
+		if err != nil {
+			return fmt.Errorf("%s: %w", sp.name, err)
+		}
+		res, err := sp.run(ctx, eng)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sp.name, err)
+		}
+		rows[i] = ComparisonRow{Name: sp.name, NeedsPositions: sp.needsPositions, Result: res}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	g, err := baseline.BetaSkeleton(nodes, m.MaxRadius, beta)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
-	return baselineResult(nodes, m, g), nil
+	return rows, nil
 }

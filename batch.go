@@ -1,0 +1,96 @@
+package cbtc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunBatch executes CBTC(α) on every placement, fanning the independent
+// networks across a pool of worker goroutines (GOMAXPROCS by default;
+// see WithWorkers). The returned slice is aligned with placements:
+// results[i] is the outcome of Run on placements[i].
+//
+// The first failure cancels the remaining work and is returned; if ctx
+// ends first, RunBatch aborts mid-batch and returns ctx.Err(). Workers
+// pull placements from a shared counter, so heterogeneous network sizes
+// balance automatically.
+func (e *Engine) RunBatch(ctx context.Context, placements [][]Point) ([]*Result, error) {
+	results := make([]*Result, len(placements))
+	err := forEachParallel(ctx, len(placements), e.workers, func(ctx context.Context, i int) error {
+		res, err := e.Run(ctx, placements[i])
+		if err != nil {
+			// Report a cancellation as the bare context error, not as a
+			// placement failure.
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+				return ctxErr
+			}
+			return fmt.Errorf("placement %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// forEachParallel runs fn(i) for every i in [0, n) across a pool of
+// min(workers, n) goroutines (workers ≤ 0 means GOMAXPROCS). Indices
+// are handed out through an atomic counter — a sharded work queue with
+// no per-item channel traffic. The first error cancels the pool and is
+// returned; cancellation of ctx yields ctx.Err().
+func forEachParallel(ctx context.Context, n, workers int, fn func(context.Context, int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -4,6 +4,7 @@ package cbtc
 // evaluation (§5) to a regenerable workload:
 //
 //	BenchmarkTable1/...        — Table 1 columns (degree/radius per stack)
+//	BenchmarkRunBatch/...      — serial vs parallel batch execution
 //	BenchmarkFigure6           — the eight topology panels
 //	BenchmarkExample21         — Figure 2 asymmetry construction
 //	BenchmarkFigure5           — Theorem 2.4 disconnection construction
@@ -17,6 +18,8 @@ package cbtc
 // invariant en passant (failed invariants abort the benchmark).
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"cbtc/internal/core"
@@ -58,6 +61,53 @@ func BenchmarkTable1(b *testing.B) {
 					b.Fatal("empty topology")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkRunBatch measures the tentpole speedup of the Engine API:
+// the same 16-network Table 1 workload pushed through Engine.RunBatch
+// serially (one worker) and across GOMAXPROCS workers. The parallel/
+// serial ratio is the recorded scaling factor; on a single-core machine
+// the two converge.
+func BenchmarkRunBatch(b *testing.B) {
+	placements := make([][]Point, 16)
+	for i := range placements {
+		placements[i] = workload.Uniform(workload.Rand(uint64(i)), workload.PaperNodes, 1500, 1500)
+	}
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			eng, err := New(
+				WithMaxRadius(workload.PaperRadius),
+				WithAllOptimizations(),
+				WithWorkers(tc.workers),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.RunBatch(ctx, placements)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(placements) {
+					b.Fatal("missing results")
+				}
+			}
+			workers := tc.workers
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			b.ReportMetric(float64(workers), "workers")
 		})
 	}
 }

@@ -13,20 +13,51 @@
 // connectivity of the maximum-power graph G_R, and adds three
 // power-reducing optimizations that keep the guarantee.
 //
-// The package offers two executors with one output type:
+// # The Engine
 //
-//   - Run computes the topology under the exact minimal-power semantics
-//     of the paper's analysis (fast, deterministic; what the evaluation
-//     harness uses).
-//   - Simulate runs the actual distributed Hello/Ack protocol of the
-//     paper's Figure 1 over a discrete-event radio simulator, supporting
-//     lossy channels and angle-of-arrival noise.
+// The primary entry point is the Engine, built once from functional
+// options and then immutable and safe for concurrent use:
 //
-// Both return a Result carrying the final graph and the per-node power
-// assignment, plus the metrics the paper's Table 1 reports.
+//	eng, err := cbtc.New(
+//		cbtc.WithMaxRadius(500),
+//		cbtc.WithAlpha(cbtc.AlphaConnectivity),
+//		cbtc.WithAllOptimizations(),
+//	)
+//	res, err := eng.Run(ctx, nodes)
+//
+// An Engine offers three executors with one output type:
+//
+//   - Engine.Run computes the topology under the exact minimal-power
+//     semantics of the paper's analysis (fast, deterministic; what the
+//     evaluation harness uses).
+//   - Engine.Simulate runs the actual distributed Hello/Ack protocol of
+//     the paper's Figure 1 over a discrete-event radio simulator,
+//     supporting lossy channels and angle-of-arrival noise.
+//   - Engine.RunBatch fans many independent placements across a worker
+//     pool — the shape of every Monte-Carlo experiment in the paper's §5.
+//
+// All executor methods honor context cancellation. Each returns a Result
+// carrying the final graph and the per-node power assignment, plus the
+// metrics the paper's Table 1 reports.
+//
+// # Sessions: dynamic reconfiguration (§4)
+//
+// Engine.NewSession maintains a long-lived, evolving topology under the
+// paper's §4 reconfiguration semantics: Join, Leave and Move events
+// repair the topology incrementally — only nodes whose neighborhood the
+// event could have changed are recomputed — and Snapshot returns the
+// live Result at any point. The maintained state always equals what a
+// fresh Engine.Run over the current live placement would produce.
+//
+// # Legacy API
+//
+// The original one-shot functions Run, Simulate and MaxPowerTopology
+// remain as thin wrappers that build a throwaway Engine from a Config;
+// new code should construct an Engine once and reuse it.
 package cbtc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,8 +65,6 @@ import (
 	"cbtc/internal/core"
 	"cbtc/internal/geom"
 	"cbtc/internal/graph"
-	"cbtc/internal/netsim"
-	"cbtc/internal/proto"
 	"cbtc/internal/radio"
 )
 
@@ -47,6 +76,28 @@ type Graph = graph.Graph
 
 // Edge is an undirected edge between node indices.
 type Edge = graph.Edge
+
+// PairwisePolicy selects which redundant edges pairwise edge removal
+// (§3.3) deletes; see the constants for the choices.
+type PairwisePolicy = core.PairwisePolicy
+
+// The pairwise edge removal policies of §3.3. Theorem 3.6 proves every
+// subset of the redundant edges is safe to remove; the policies differ
+// in the power/throughput trade-off.
+const (
+	// PairwiseLengthFiltered is the paper's practical rule: remove a
+	// redundant edge only when it is longer than the longest
+	// non-redundant edge at the detecting endpoint.
+	PairwiseLengthFiltered = core.PairwiseLengthFiltered
+	// PairwiseRemoveAll removes every redundant edge (Theorem 3.6).
+	PairwiseRemoveAll = core.PairwiseRemoveAll
+	// PairwiseEitherEndpoint removes a redundant edge that is longer than
+	// the longest non-redundant edge at either endpoint.
+	PairwiseEitherEndpoint = core.PairwiseEitherEndpoint
+	// PairwiseBothEndpoints removes a redundant edge only when both
+	// endpoints benefit.
+	PairwiseBothEndpoints = core.PairwiseBothEndpoints
+)
 
 // The two cone angles the paper analyzes.
 const (
@@ -65,6 +116,10 @@ func Pt(x, y float64) Point { return geom.Pt(x, y) }
 
 // Config selects the cone angle, the radio model, and the optimization
 // stack. The zero value is not valid: MaxRadius must be positive.
+//
+// Config remains the configuration record behind the legacy one-shot
+// functions and can seed an Engine through WithConfig; new code usually
+// builds the Engine from individual options instead.
 type Config struct {
 	// Alpha is the cone angle in radians. Zero means AlphaConnectivity
 	// (5π/6). Must be in (0, 2π]; connectivity is only guaranteed for
@@ -81,20 +136,43 @@ type Config struct {
 	// AsymmetricRemoval enables optimization 2 (§3.2); requires
 	// Alpha ≤ 2π/3.
 	AsymmetricRemoval bool
-	// PairwiseRemoval enables optimization 3 (§3.3) with the paper's
-	// length-filtered policy.
+	// PairwiseRemoval enables optimization 3 (§3.3); the policy is
+	// selected by PairwisePolicy.
 	PairwiseRemoval bool
+	// PairwisePolicy selects the §3.3 removal rule; the zero value means
+	// PairwiseLengthFiltered, the paper's practical rule.
+	PairwisePolicy PairwisePolicy
 	// RemoveAllRedundant switches PairwiseRemoval to delete every
-	// redundant edge (the full Theorem 3.6 setting) instead of only
-	// power-relevant ones.
+	// redundant edge (the full Theorem 3.6 setting).
+	//
+	// Deprecated: set PairwisePolicy to PairwiseRemoveAll instead. The
+	// field is still honored when PairwisePolicy is zero.
 	RemoveAllRedundant bool
 }
 
+// resolvedPairwisePolicy returns the §3.3 policy in effect, merging the
+// explicit PairwisePolicy field with the deprecated RemoveAllRedundant
+// flag. Zero means the BuildTopology default (PairwiseLengthFiltered).
+func (c Config) resolvedPairwisePolicy() PairwisePolicy {
+	if c.PairwisePolicy != 0 {
+		return c.PairwisePolicy
+	}
+	if c.RemoveAllRedundant {
+		return PairwiseRemoveAll
+	}
+	return 0
+}
+
 // AllOptimizations returns cfg with every optimization applicable at its
-// cone angle enabled — the paper's "with all opt" configuration.
+// cone angle enabled — the paper's "with all opt" configuration. The
+// pairwise policy is resolved the same way Run resolves it: an explicit
+// PairwisePolicy wins, the deprecated RemoveAllRedundant flag maps to
+// PairwiseRemoveAll, and the default is the paper's length-filtered
+// rule.
 func (c Config) AllOptimizations() Config {
 	c.ShrinkBack = true
 	c.PairwiseRemoval = true
+	c.PairwisePolicy = c.resolvedPairwisePolicy()
 	alpha := c.Alpha
 	if alpha == 0 {
 		alpha = AlphaConnectivity
@@ -117,13 +195,15 @@ func (c Config) resolve() (Config, radio.Model, core.Options, error) {
 	if err != nil {
 		return c, radio.Model{}, core.Options{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	policy := c.resolvedPairwisePolicy()
+	if policy < 0 || policy > PairwiseBothEndpoints {
+		return c, radio.Model{}, core.Options{}, fmt.Errorf("%w: unknown pairwise policy %v", ErrBadConfig, policy)
+	}
 	opts := core.Options{
 		ShrinkBack:        c.ShrinkBack,
 		AsymmetricRemoval: c.AsymmetricRemoval,
 		PairwiseRemoval:   c.PairwiseRemoval,
-	}
-	if c.RemoveAllRedundant {
-		opts.PairwisePolicy = core.PairwiseRemoveAll
+		PairwisePolicy:    policy,
 	}
 	if err := opts.Validate(c.Alpha); err != nil {
 		return c, radio.Model{}, core.Options{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
@@ -134,20 +214,15 @@ func (c Config) resolve() (Config, radio.Model, core.Options, error) {
 // Run executes CBTC(α) on the placement under the exact minimal-power
 // semantics of the paper's analysis and applies the configured
 // optimization stack.
+//
+// Deprecated: build an Engine with New and call Engine.Run; it validates
+// once, honors contexts, and is safe for concurrent reuse.
 func Run(nodes []Point, cfg Config) (*Result, error) {
-	cfg, m, opts, err := cfg.resolve()
+	eng, err := New(WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	exec, err := core.Run(nodes, m, cfg.Alpha)
-	if err != nil {
-		return nil, err
-	}
-	topo, err := core.BuildTopology(exec, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(nodes, m, topo), nil
+	return eng.Run(context.Background(), nodes)
 }
 
 // SimOptions configures the distributed execution of Simulate.
@@ -173,73 +248,26 @@ type SimOptions struct {
 
 // Simulate runs the distributed Hello/Ack protocol of the paper's
 // Figure 1 on a discrete-event radio simulator and applies the
-// configured optimization stack to the outcome. Nodes act only on
-// message powers and measured angles, exactly as the paper assumes.
+// configured optimization stack to the outcome.
+//
+// Deprecated: build an Engine with New and call Engine.Simulate.
 func Simulate(nodes []Point, cfg Config, sim SimOptions) (*Result, error) {
-	cfg, m, opts, err := cfg.resolve()
+	eng, err := New(WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	simOpts := netsim.Options{
-		Model:    m,
-		Latency:  sim.Latency,
-		Jitter:   sim.Jitter,
-		DropProb: sim.DropProb,
-		DupProb:  sim.DupProb,
-		AoANoise: sim.AoANoise,
-		Seed:     sim.Seed,
-	}
-	if simOpts.Latency == 0 {
-		simOpts.Latency = 1
-	}
-	pcfg := proto.Config{
-		Alpha:       cfg.Alpha,
-		P0:          sim.InitialPower,
-		AsymRemoval: cfg.AsymmetricRemoval,
-	}
-	if sim.IncreaseFactor != 0 {
-		inc, err := radio.Multiplicative(sim.IncreaseFactor)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-		}
-		pcfg.Increase = inc
-	}
-	exec, _, err := proto.RunCBTC(nodes, simOpts, pcfg)
-	if err != nil {
-		return nil, err
-	}
-	topo, err := core.BuildTopology(exec, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(nodes, m, topo), nil
+	return eng.Simulate(context.Background(), nodes, sim)
 }
 
 // MaxPowerTopology returns the Result of using no topology control at
 // all: every node transmits at maximum power (the paper's baseline
 // column in Table 1).
+//
+// Deprecated: build an Engine with New and call Engine.MaxPower.
 func MaxPowerTopology(nodes []Point, cfg Config) (*Result, error) {
-	cfg, m, _, err := cfg.resolve()
+	eng, err := New(WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	gr := core.MaxPowerGraph(nodes, m)
-	radii := make([]float64, len(nodes))
-	powers := make([]float64, len(nodes))
-	boundary := make([]bool, len(nodes))
-	for i := range nodes {
-		radii[i] = m.MaxRadius // the baseline transmits at R regardless
-		powers[i] = m.MaxPower()
-	}
-	return &Result{
-		G:         gr,
-		GR:        gr,
-		Pos:       append([]Point(nil), nodes...),
-		Radii:     radii,
-		Powers:    powers,
-		Boundary:  boundary,
-		AvgDegree: graph.AvgDegree(gr),
-		AvgRadius: m.MaxRadius,
-		model:     m,
-	}, nil
+	return eng.MaxPower(nodes)
 }

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"cbtc"
 )
@@ -31,7 +33,10 @@ func main() {
 	for i := 0; i < *steps; i++ {
 		alphas = append(alphas, lo+(hi-lo)*float64(i)/float64(*steps-1))
 	}
-	rows, err := cbtc.RunAlphaSweep(cbtc.AlphaSweepParams{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rows, err := cbtc.RunAlphaSweepContext(ctx, cbtc.AlphaSweepParams{
 		Alphas:    alphas,
 		Networks:  *networks,
 		Nodes:     *nodes,

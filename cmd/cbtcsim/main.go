@@ -17,11 +17,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"cbtc"
 	"cbtc/internal/stats"
@@ -51,24 +53,37 @@ func main() {
 	flag.Parse()
 
 	nodes := workload.Uniform(workload.Rand(*seed), *n, *width, *height)
-	cfg := cbtc.Config{
-		Alpha:             *alpha,
-		MaxRadius:         *radius,
-		ShrinkBack:        *shrink,
-		AsymmetricRemoval: *asym,
-		PairwiseRemoval:   *pairwise,
+	opts := []cbtc.Option{
+		cbtc.WithAlpha(*alpha),
+		cbtc.WithMaxRadius(*radius),
+	}
+	if *shrink {
+		opts = append(opts, cbtc.WithShrinkBack())
+	}
+	if *asym {
+		opts = append(opts, cbtc.WithAsymmetricRemoval())
+	}
+	if *pairwise {
+		opts = append(opts, cbtc.WithPairwiseRemoval(cbtc.PairwiseLengthFiltered))
 	}
 	if *all {
-		cfg = cfg.AllOptimizations()
+		opts = append(opts, cbtc.WithAllOptimizations())
+	}
+	eng, err := cbtc.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbtcsim:", err)
+		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var res *cbtc.Result
-	var err error
 	switch *mode {
 	case "oracle":
-		res, err = cbtc.Run(nodes, cfg)
+		res, err = eng.Run(ctx, nodes)
 	case "sim":
-		res, err = cbtc.Simulate(nodes, cfg, cbtc.SimOptions{
+		res, err = eng.Simulate(ctx, nodes, cbtc.SimOptions{
 			Seed:     *seed,
 			DropProb: *drop,
 			DupProb:  *dup,

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cbtc"
 	"cbtc/internal/stats"
@@ -28,49 +30,23 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	nodes := workload.Uniform(workload.Rand(*seed), *n, *width, *height)
-	cfg := cbtc.Config{MaxRadius: *radius}
-
-	type entry struct {
-		name string
-		res  *cbtc.Result
-		err  error
-	}
-	var entries []entry
-	add := func(name string, res *cbtc.Result, err error) {
-		entries = append(entries, entry{name: name, res: res, err: err})
-	}
-
-	res, err := cbtc.MaxPowerTopology(nodes, cfg)
-	add("max power", res, err)
-
-	res, err = cbtc.Run(nodes, cfg)
-	add("CBTC basic 5π/6", res, err)
-
-	res, err = cbtc.Run(nodes, cfg.AllOptimizations())
-	add("CBTC all-ops 5π/6", res, err)
-
-	cfg23 := cfg
-	cfg23.Alpha = cbtc.AlphaAsymmetric
-	res, err = cbtc.Run(nodes, cfg23.AllOptimizations())
-	add("CBTC all-ops 2π/3", res, err)
-
-	for _, kind := range cbtc.BaselineKinds() {
-		res, err = cbtc.RunBaseline(kind, nodes, cfg)
-		add(kind.String()+" (positions)", res, err)
+	rows, err := cbtc.CompareBaselines(ctx, nodes, cbtc.Config{MaxRadius: *radius})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("topology comparison: %d nodes, %gx%g region, R=%g, seed=%d\n\n",
 		*n, *width, *height, *radius, *seed)
 	tb := stats.NewTable("topology", "edges", "deg", "radius", "maxrad",
 		"power-stretch", "hop-stretch", "avg-intf", "diam", "biconn", "connected")
-	for _, e := range entries {
-		if e.err != nil {
-			fmt.Fprintf(os.Stderr, "compare: %s: %v\n", e.name, e.err)
-			os.Exit(1)
-		}
-		r := e.res
-		tb.AddRow(e.name,
+	for _, row := range rows {
+		r := row.Result
+		tb.AddRow(row.Name,
 			fmt.Sprint(r.G.EdgeCount()),
 			stats.F(r.AvgDegree, 1),
 			stats.F(r.AvgRadius, 0),
@@ -86,5 +62,5 @@ func main() {
 	fmt.Println("\nCBTC uses only angle-of-arrival information; the baselines require")
 	fmt.Println("exact positions. The min-max-radius row is the centralized optimum")
 	fmt.Println("for the maximum radius; its value equals the G_R bottleneck:",
-		stats.F(entries[0].res.BottleneckRadius(), 0))
+		stats.F(rows[0].Result.BottleneckRadius(), 0))
 }

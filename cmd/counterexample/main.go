@@ -14,14 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"slices"
 
-	"cbtc/internal/core"
-	"cbtc/internal/graph"
-	"cbtc/internal/radio"
+	"cbtc"
 	"cbtc/internal/workload"
 )
 
@@ -30,70 +30,91 @@ func main() {
 	radius := flag.Float64("radius", 500, "maximum transmission radius R")
 	flag.Parse()
 
-	m := radio.Default(*radius)
+	ctx := context.Background()
 	ok := true
-	ok = example21(m, 2*math.Pi/3+2**eps) && ok
-	ok = figure5(m, *eps) && ok
+	ok = example21(ctx, *radius, 2*math.Pi/3+2**eps) && ok
+	ok = figure5(ctx, *radius, *eps) && ok
 	if !ok {
 		os.Exit(1)
 	}
 }
 
-func example21(m radio.Model, alpha float64) bool {
+func run(ctx context.Context, nodes []cbtc.Point, radius, alpha float64) (*cbtc.Result, error) {
+	eng, err := cbtc.New(cbtc.WithMaxRadius(radius), cbtc.WithAlpha(alpha))
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx, nodes)
+}
+
+func example21(ctx context.Context, radius, alpha float64) bool {
 	fmt.Printf("=== Example 2.1: asymmetry of N_α (α = %.4f rad = %.1f°) ===\n",
 		alpha, alpha*180/math.Pi)
-	pos, err := workload.Example21(alpha, m.MaxRadius)
+	pos, err := workload.Example21(alpha, radius)
 	if err != nil {
 		fmt.Println("construction failed:", err)
 		return false
 	}
-	exec, err := core.Run(pos, m, alpha)
+	res, err := run(ctx, pos, radius, alpha)
 	if err != nil {
 		fmt.Println("CBTC failed:", err)
 		return false
 	}
-	n := exec.Nalpha()
 	const u0, v = 0, 4
-	fmt.Printf("  N_α(u0) = %v   (paper: [u1 u2 u3])\n", n.Successors(u0))
-	fmt.Printf("  N_α(v)  = %v   (paper: [u0])\n", n.Successors(v))
-	asymmetric := n.HasArc(v, u0) && !n.HasArc(u0, v)
+	nu0 := sorted(res.DirectedNeighbors(u0))
+	nv := sorted(res.DirectedNeighbors(v))
+	fmt.Printf("  N_α(u0) = %v   (paper: [1 2 3])\n", nu0)
+	fmt.Printf("  N_α(v)  = %v   (paper: [0])\n", nv)
+	asymmetric := slices.Contains(nv, u0) && !slices.Contains(nu0, v)
 	fmt.Printf("  (v,u0) ∈ N_α and (u0,v) ∉ N_α: %v\n", asymmetric)
-	closureConnected := graph.IsConnected(n.SymmetricClosure())
+	closureConnected := res.Components() == 1
 	fmt.Printf("  symmetric closure connected: %v\n\n", closureConnected)
 	return asymmetric && closureConnected
 }
 
-func figure5(m radio.Model, eps float64) bool {
-	alpha := core.AlphaConnectivity + eps
+func figure5(ctx context.Context, radius, eps float64) bool {
+	alpha := cbtc.AlphaConnectivity + eps
 	fmt.Printf("=== Figure 5: disconnection above the 5π/6 bound (ε = %.4f) ===\n", eps)
-	pos, err := workload.Figure5(eps, m.MaxRadius)
+	pos, err := workload.Figure5(eps, radius)
 	if err != nil {
 		fmt.Println("construction failed:", err)
 		return false
 	}
-	gr := core.MaxPowerGraph(pos, m)
+	above, err := run(ctx, pos, radius, alpha)
+	if err != nil {
+		fmt.Println("CBTC failed:", err)
+		return false
+	}
+	// A max-power Result has G = G_R, so its Components() counts the
+	// ground-truth components through the public API.
+	eng, err := cbtc.New(cbtc.WithMaxRadius(radius))
+	if err != nil {
+		fmt.Println("bad config:", err)
+		return false
+	}
+	mp, err := eng.MaxPower(pos)
+	if err != nil {
+		fmt.Println("max-power baseline failed:", err)
+		return false
+	}
 	fmt.Printf("  G_R connected: %v (bridge u0-v0 present: %v)\n",
-		graph.IsConnected(gr), gr.HasEdge(0, 4))
-
-	execAbove, err := core.Run(pos, m, alpha)
-	if err != nil {
-		fmt.Println("CBTC failed:", err)
-		return false
-	}
-	gAbove := execAbove.Nalpha().SymmetricClosure()
+		mp.Components() == 1, mp.G.HasEdge(0, 4))
 	fmt.Printf("  α = 5π/6+ε: components = %d, bridge present: %v  (paper: disconnected)\n",
-		graph.ComponentCount(gAbove), gAbove.HasEdge(0, 4))
+		above.Components(), above.G.HasEdge(0, 4))
 
-	execAt, err := core.Run(pos, m, core.AlphaConnectivity)
+	at, err := run(ctx, pos, radius, cbtc.AlphaConnectivity)
 	if err != nil {
 		fmt.Println("CBTC failed:", err)
 		return false
 	}
-	gAt := execAt.Nalpha().SymmetricClosure()
-	fmt.Printf("  α = 5π/6 exactly: components = %d  (bound is tight)\n",
-		graph.ComponentCount(gAt))
+	fmt.Printf("  α = 5π/6 exactly: components = %d  (bound is tight)\n", at.Components())
 
-	return graph.IsConnected(gr) &&
-		!graph.IsConnected(gAbove) &&
-		graph.IsConnected(gAt)
+	return mp.Components() == 1 &&
+		above.Components() > 1 &&
+		at.Components() == 1
+}
+
+func sorted(xs []int) []int {
+	slices.Sort(xs)
+	return xs
 }

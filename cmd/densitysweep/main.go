@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cbtc"
 )
@@ -22,7 +24,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	flag.Parse()
 
-	rows, err := cbtc.RunDensitySweep(cbtc.DensitySweepParams{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rows, err := cbtc.RunDensitySweepContext(ctx, cbtc.DensitySweepParams{
 		Networks:  *networks,
 		MaxRadius: *radius,
 		Seed:      *seed,

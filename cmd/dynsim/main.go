@@ -1,13 +1,22 @@
 // Command dynsim executes a scripted dynamic-reconfiguration scenario
 // (§4 of the paper) described as JSON: an initial placement plus a
-// timeline of crash/move/add events and checkpoints. At every checkpoint
-// the live topology — the symmetric closure of the nodes' dynamic
-// neighbor tables — is compared against the ground-truth maximum-power
-// graph over current positions.
+// timeline of crash/move/add events and checkpoints.
+//
+// Two execution modes are available:
+//
+//   - "proto" (default) runs the distributed protocol with the Neighbor
+//     Discovery Protocol enabled on the discrete-event simulator. At
+//     every checkpoint the live topology — the symmetric closure of the
+//     nodes' dynamic neighbor tables — is compared against the
+//     ground-truth maximum-power graph over current positions.
+//   - "session" replays the same events through the library's public
+//     Session API: the §4 state machines repair the oracle topology
+//     incrementally, with no message passing. Checkpoints report the
+//     snapshot's connectivity-preservation guarantee.
 //
 // Usage:
 //
-//	dynsim -f scenario.json
+//	dynsim -f scenario.json [-mode proto|session]
 //	dynsim -demo            # run the built-in crash-and-replace demo
 //
 // Scenario format (times are relative to the end of the settle phase):
@@ -28,11 +37,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"cbtc"
 	"cbtc/internal/scenario"
 	"cbtc/internal/stats"
 )
@@ -52,6 +63,7 @@ const demoScenario = `{
 func main() {
 	file := flag.String("f", "", "scenario JSON file")
 	demo := flag.Bool("demo", false, "run the built-in demo scenario")
+	mode := flag.String("mode", "proto", "execution mode: proto (distributed simulator) | session (library Session API)")
 	flag.Parse()
 
 	var s *scenario.Scenario
@@ -72,13 +84,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	switch *mode {
+	case "proto":
+		runProto(s)
+	case "session":
+		runSession(s)
+	default:
+		fmt.Fprintf(os.Stderr, "dynsim: unknown mode %q (want proto or session)\n", *mode)
+		os.Exit(1)
+	}
+}
+
+func runProto(s *scenario.Scenario) {
 	report, err := scenario.Run(s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynsim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("dynamic scenario: %d initial nodes, %d events\n\n", len(s.Nodes), len(s.Events))
+	fmt.Printf("dynamic scenario (distributed protocol): %d initial nodes, %d events\n\n",
+		len(s.Nodes), len(s.Events))
 	tb := stats.NewTable("time", "checkpoint", "components", "edges", "matches G_R")
 	for _, cp := range report.Checkpoints {
 		tb.AddRow(stats.F(cp.At, 0), cp.Label,
@@ -88,6 +113,79 @@ func main() {
 	fmt.Printf("\nreconfiguration events: %d joins, %d leaves, %d angle changes, %d regrows\n",
 		report.Joins, report.Leaves, report.AngleChanges, report.Regrows)
 	if !report.FinalOK {
+		fmt.Fprintln(os.Stderr, "dynsim: FINAL TOPOLOGY DOES NOT MATCH GROUND TRUTH")
+		os.Exit(1)
+	}
+	fmt.Println("final topology preserves the ground-truth partition ✓")
+}
+
+// runSession replays the scenario through the public Session API: the
+// oracle-level §4 reconfiguration with incremental repair, no message
+// passing.
+func runSession(s *scenario.Scenario) {
+	nodes := make([]cbtc.Point, len(s.Nodes))
+	for i, xy := range s.Nodes {
+		nodes[i] = cbtc.Pt(xy[0], xy[1])
+	}
+	opts := []cbtc.Option{cbtc.WithMaxRadius(s.MaxRadius)}
+	if s.Alpha != 0 {
+		opts = append(opts, cbtc.WithAlpha(s.Alpha))
+	}
+	eng, err := cbtc.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsim:", err)
+		os.Exit(1)
+	}
+	sess, err := eng.NewSession(context.Background(), nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dynamic scenario (library Session): %d initial nodes, %d events\n\n",
+		len(s.Nodes), len(s.Events))
+	tb := stats.NewTable("time", "checkpoint", "components", "edges", "matches G_R")
+	check := func(at float64, label string) bool {
+		snap, err := sess.Snapshot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		ok := snap.PreservesConnectivity()
+		tb.AddRow(stats.F(at, 0), label,
+			fmt.Sprint(snap.Components()), fmt.Sprint(snap.G.EdgeCount()), fmt.Sprint(ok))
+		return ok
+	}
+
+	for _, ev := range s.SortedEvents() {
+		switch ev.Op {
+		case scenario.OpCrash:
+			if _, err := sess.Leave(ev.Node); err != nil {
+				fmt.Fprintln(os.Stderr, "dynsim:", err)
+				os.Exit(1)
+			}
+		case scenario.OpMove:
+			if _, err := sess.Move(ev.Node, cbtc.Pt(ev.X, ev.Y)); err != nil {
+				fmt.Fprintln(os.Stderr, "dynsim:", err)
+				os.Exit(1)
+			}
+		case scenario.OpAdd:
+			sess.Join(cbtc.Pt(ev.X, ev.Y))
+		case scenario.OpCheck:
+			if !check(ev.At, ev.Label) {
+				fmt.Print(tb.String())
+				fmt.Fprintln(os.Stderr, "dynsim: CHECKPOINT LOST THE GROUND-TRUTH PARTITION")
+				os.Exit(1)
+			}
+		}
+	}
+	finalOK := check(-1, "final")
+	fmt.Print(tb.String())
+
+	st := sess.Stats()
+	fmt.Printf("\nreconfiguration events: %d joins, %d leaves, %d moves, %d angle changes, %d regrows, %d repairs\n",
+		st.Joins, st.Leaves, st.Moves, st.AngleChanges, st.Regrows, st.Repairs)
+	if !finalOK {
 		fmt.Fprintln(os.Stderr, "dynsim: FINAL TOPOLOGY DOES NOT MATCH GROUND TRUTH")
 		os.Exit(1)
 	}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cbtc"
 	"cbtc/internal/stats"
@@ -28,7 +30,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 
-	res, err := cbtc.RunTable1(cbtc.Table1Params{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := cbtc.RunTable1Context(ctx, cbtc.Table1Params{
 		Networks:  *networks,
 		Nodes:     *nodes,
 		Width:     *width,

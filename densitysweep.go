@@ -1,11 +1,10 @@
 package cbtc
 
 import (
+	"context"
 	"fmt"
 
-	"cbtc/internal/core"
 	"cbtc/internal/graph"
-	"cbtc/internal/radio"
 	"cbtc/internal/stats"
 	"cbtc/internal/workload"
 )
@@ -44,12 +43,19 @@ type DensitySweepRow struct {
 	Interference float64
 }
 
-// RunDensitySweep measures how topology control decouples node degree
-// from deployment density: without control the degree grows linearly in
-// the number of nodes; with CBTC it stays essentially constant while
-// the per-node radius shrinks. This is the scalability argument of the
-// paper's introduction.
+// RunDensitySweep sweeps with a background context; see
+// RunDensitySweepContext.
 func RunDensitySweep(params DensitySweepParams) ([]DensitySweepRow, error) {
+	return RunDensitySweepContext(context.Background(), params)
+}
+
+// RunDensitySweepContext measures how topology control decouples node
+// degree from deployment density: without control the degree grows
+// linearly in the number of nodes; with CBTC it stays essentially
+// constant while the per-node radius shrinks. This is the scalability
+// argument of the paper's introduction. One Engine serves every
+// density; each density's networks run through Engine.RunBatch.
+func RunDensitySweepContext(ctx context.Context, params DensitySweepParams) ([]DensitySweepRow, error) {
 	p := params
 	if p.NodeCounts == nil {
 		p.NodeCounts = []int{25, 50, 100, 200, 400}
@@ -66,32 +72,31 @@ func RunDensitySweep(params DensitySweepParams) ([]DensitySweepRow, error) {
 	if p.MaxRadius == 0 {
 		p.MaxRadius = workload.PaperRadius
 	}
-	m, err := radio.NewModel(radio.FreeSpaceExponent, p.MaxRadius, 1)
+	eng, err := New(
+		WithMaxRadius(p.MaxRadius),
+		WithShrinkBack(),
+		WithPairwiseRemoval(PairwiseLengthFiltered),
+	)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		return nil, err
 	}
 
-	opts := core.Options{ShrinkBack: true, PairwiseRemoval: true}
 	rows := make([]DensitySweepRow, 0, len(p.NodeCounts))
 	for _, n := range p.NodeCounts {
+		placements := make([][]Point, p.Networks)
+		for i := range placements {
+			placements[i] = workload.Uniform(workload.Rand(p.Seed+uint64(i)), n, p.Width, p.Height)
+		}
+		batch, err := eng.RunBatch(ctx, placements)
+		if err != nil {
+			return nil, err
+		}
 		var maxDeg, deg, rad, intf stats.Sample
-		for net := 0; net < p.Networks; net++ {
-			pos := workload.Uniform(workload.Rand(p.Seed+uint64(net)), n, p.Width, p.Height)
-			gr := core.MaxPowerGraph(pos, m)
-			maxDeg.Add(graph.AvgDegree(gr))
-
-			exec, err := core.Run(pos, m, core.AlphaConnectivity)
-			if err != nil {
-				return nil, err
-			}
-			topo, err := core.BuildTopology(exec, opts)
-			if err != nil {
-				return nil, err
-			}
-			s := topo.Summarize()
-			deg.Add(s.AvgDegree)
-			rad.Add(s.AvgRadius)
-			intf.Add(graph.AvgInterference(topo.G, pos))
+		for _, res := range batch {
+			maxDeg.Add(graph.AvgDegree(res.GR))
+			deg.Add(res.AvgDegree)
+			rad.Add(res.AvgRadius)
+			intf.Add(res.AvgInterference())
 		}
 		rows = append(rows, DensitySweepRow{
 			Nodes:          n,

@@ -1,0 +1,151 @@
+package cbtc
+
+import (
+	"context"
+	"fmt"
+
+	"cbtc/internal/core"
+	"cbtc/internal/graph"
+	"cbtc/internal/netsim"
+	"cbtc/internal/proto"
+	"cbtc/internal/radio"
+)
+
+// Engine is a validated, reusable CBTC(α) executor. It is built once by
+// New from functional options, is immutable afterwards, and is safe for
+// concurrent use: any number of goroutines may call Run, Simulate,
+// MaxPower, Baseline and RunBatch on the same Engine simultaneously.
+type Engine struct {
+	cfg      Config
+	model    radio.Model
+	opts     core.Options
+	schedule []float64 // non-nil: quantize discovery tags to these levels
+	workers  int       // RunBatch worker count; 0 = GOMAXPROCS
+}
+
+// New builds an Engine from functional options, validating the combined
+// configuration once. At minimum the maximum radius must be supplied
+// (WithMaxRadius or WithConfig); every violation is reported as an error
+// wrapping ErrBadConfig.
+func New(options ...Option) (*Engine, error) {
+	var s settings
+	for _, opt := range options {
+		opt(&s)
+	}
+	if s.allOpts {
+		s.cfg = s.cfg.AllOptimizations()
+	}
+	cfg, m, opts, err := s.cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if s.workers < 0 {
+		return nil, fmt.Errorf("%w: negative worker count %d", ErrBadConfig, s.workers)
+	}
+	eng := &Engine{cfg: cfg, model: m, opts: opts, workers: s.workers}
+	if s.scheduleFactor != 0 {
+		inc, err := radio.Multiplicative(s.scheduleFactor)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		schedule, err := radio.Schedule(m.MaxPower()/1024, m.MaxPower(), inc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		eng.schedule = schedule
+	}
+	return eng, nil
+}
+
+// Config returns the fully-resolved configuration the Engine runs with
+// (defaults filled in, pairwise policy resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Alpha returns the cone angle the Engine runs with.
+func (e *Engine) Alpha() float64 { return e.cfg.Alpha }
+
+// Run executes CBTC(α) on the placement under the exact minimal-power
+// semantics of the paper's analysis and applies the engine's
+// optimization stack. Cancelling ctx aborts the computation with
+// ctx.Err().
+func (e *Engine) Run(ctx context.Context, nodes []Point) (*Result, error) {
+	exec, err := core.RunContext(ctx, nodes, e.model, e.cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if e.schedule != nil {
+		exec = core.QuantizeTags(exec, e.schedule)
+	}
+	topo, err := core.BuildTopology(exec, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(nodes, e.model, topo), nil
+}
+
+// Simulate runs the distributed Hello/Ack protocol of the paper's
+// Figure 1 on a discrete-event radio simulator and applies the engine's
+// optimization stack to the outcome. Nodes act only on message powers
+// and measured angles, exactly as the paper assumes. Cancelling ctx
+// stops the event loop and returns ctx.Err().
+func (e *Engine) Simulate(ctx context.Context, nodes []Point, sim SimOptions) (*Result, error) {
+	simOpts := netsim.Options{
+		Model:    e.model,
+		Latency:  sim.Latency,
+		Jitter:   sim.Jitter,
+		DropProb: sim.DropProb,
+		DupProb:  sim.DupProb,
+		AoANoise: sim.AoANoise,
+		Seed:     sim.Seed,
+	}
+	if simOpts.Latency == 0 {
+		simOpts.Latency = 1
+	}
+	pcfg := proto.Config{
+		Alpha:       e.cfg.Alpha,
+		P0:          sim.InitialPower,
+		AsymRemoval: e.cfg.AsymmetricRemoval,
+	}
+	if sim.IncreaseFactor != 0 {
+		inc, err := radio.Multiplicative(sim.IncreaseFactor)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		pcfg.Increase = inc
+	}
+	exec, _, err := proto.RunCBTCContext(ctx, nodes, simOpts, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := core.BuildTopology(exec, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(nodes, e.model, topo), nil
+}
+
+// MaxPower returns the Result of using no topology control at all:
+// every node transmits at maximum power (the paper's baseline column in
+// Table 1). The engine's optimization stack does not apply.
+func (e *Engine) MaxPower(nodes []Point) (*Result, error) {
+	m := e.model
+	gr := core.MaxPowerGraph(nodes, m)
+	radii := make([]float64, len(nodes))
+	powers := make([]float64, len(nodes))
+	boundary := make([]bool, len(nodes))
+	for i := range nodes {
+		radii[i] = m.MaxRadius // the baseline transmits at R regardless
+		powers[i] = m.MaxPower()
+	}
+	return &Result{
+		G:         gr,
+		GR:        gr,
+		Pos:       append([]Point(nil), nodes...),
+		Radii:     radii,
+		Powers:    powers,
+		Boundary:  boundary,
+		AvgDegree: graph.AvgDegree(gr),
+		AvgRadius: m.MaxRadius,
+		model:     m,
+	}, nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -17,6 +18,7 @@ import (
 func main() {
 	const r = 500.0
 	alpha := 2*math.Pi/3 + 0.2 // ε = 0.1 in the paper's construction
+	ctx := context.Background()
 
 	// The five-node configuration of Figure 2: u0 with v at distance
 	// exactly R, u1/u2 placed at angle α/2 so they cover v's direction
@@ -33,7 +35,11 @@ func main() {
 			names[i], p.X, p.Y, nodes[0].Dist(p))
 	}
 
-	res, err := cbtc.Run(nodes, cbtc.Config{Alpha: alpha, MaxRadius: r})
+	eng, err := cbtc.New(cbtc.WithMaxRadius(r), cbtc.WithAlpha(alpha))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(ctx, nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,13 +58,21 @@ func main() {
 
 	// At this α the library refuses to drop asymmetric edges: doing so
 	// would disconnect v. The guard is the point of Theorem 3.2's 2π/3
-	// bound.
-	_, err = cbtc.Run(nodes, cbtc.Config{Alpha: alpha, MaxRadius: r, AsymmetricRemoval: true})
+	// bound — New rejects the combination outright.
+	_, err = cbtc.New(cbtc.WithMaxRadius(r), cbtc.WithAlpha(alpha), cbtc.WithAsymmetricRemoval())
 	fmt.Printf("\nasymmetric removal at α > 2π/3 rejected: %v\n", err != nil)
 
 	// At α = 2π/3 the relation is "symmetric enough": the largest
 	// mutual subgraph already preserves connectivity (Theorem 3.2).
-	res23, err := cbtc.Run(nodes, cbtc.Config{Alpha: cbtc.AlphaAsymmetric, MaxRadius: r, AsymmetricRemoval: true})
+	eng23, err := cbtc.New(
+		cbtc.WithMaxRadius(r),
+		cbtc.WithAlpha(cbtc.AlphaAsymmetric),
+		cbtc.WithAsymmetricRemoval(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res23, err := eng23.Run(ctx, nodes)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,27 +19,27 @@ import (
 
 func main() {
 	nodes := workload.Uniform(workload.Rand(99), 150, 1500, 1500)
-	cfg := cbtc.Config{MaxRadius: 500}
 
-	cbtcRes, err := cbtc.Run(nodes, cfg.AllOptimizations())
+	// CompareBaselines fans CBTC and every comparator across the batch
+	// worker pool and returns one row per topology.
+	rows, err := cbtc.CompareBaselines(context.Background(), nodes, cbtc.Config{MaxRadius: 500})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("CBTC (directions only) vs position-based baselines, 150 nodes")
 	tb := stats.NewTable("topology", "needs positions", "avg degree", "avg radius", "power stretch")
-	tb.AddRow("CBTC all-ops 5π/6", "no",
-		stats.F(cbtcRes.AvgDegree, 2), stats.F(cbtcRes.AvgRadius, 1),
-		stats.F(cbtcRes.PowerStretch(), 2))
-
-	for _, kind := range cbtc.BaselineKinds() {
-		res, err := cbtc.RunBaseline(kind, nodes, cfg)
-		if err != nil {
-			log.Fatal(err)
+	for _, row := range rows {
+		if row.Name == "max power" || row.Name == "CBTC basic 5π/6" || row.Name == "CBTC all-ops 2π/3" {
+			continue // keep the table focused on the all-ops stack vs comparators
 		}
-		tb.AddRow(kind.String(), "yes",
-			stats.F(res.AvgDegree, 2), stats.F(res.AvgRadius, 1),
-			stats.F(res.PowerStretch(), 2))
+		needs := "no"
+		if row.NeedsPositions {
+			needs = "yes"
+		}
+		tb.AddRow(row.Name, needs,
+			stats.F(row.Result.AvgDegree, 2), stats.F(row.Result.AvgRadius, 1),
+			stats.F(row.Result.PowerStretch(), 2))
 	}
 	fmt.Print(tb.String())
 

@@ -1,96 +1,92 @@
 // Mobility: dynamic reconfiguration under node movement and failure
-// (§4 of the paper). The example runs the distributed protocol with the
-// Neighbor Discovery Protocol enabled, then scripts a scenario: a relay
-// node crashes, a new node wanders into the void, and the network heals
-// itself through leave/join events and regrows — while the §4
-// beacon-power rule keeps the live topology connectivity-preserving
-// throughout.
+// (§4 of the paper), driven entirely through the library's public
+// Session API. The example builds a topology over two towns bridged by
+// a relay, then scripts a scenario: the relay crashes, a distant
+// wanderer moves in to take its place, and the network heals itself
+// through the §4 join/leave/aChange events — with incremental repair
+// (only nodes near each event recompute) and the connectivity guarantee
+// holding at every step.
+//
+// For the same scenario at the message-passing level — beacons, leave
+// timeouts, lossy channels — see `go run ./cmd/dynsim -demo` and the
+// internal discrete-event simulator it drives.
 //
 //	go run ./examples/mobility
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cbtc/internal/core"
-	"cbtc/internal/geom"
-	"cbtc/internal/graph"
-	"cbtc/internal/netsim"
-	"cbtc/internal/proto"
-	"cbtc/internal/radio"
+	"cbtc"
 )
 
 func main() {
 	// Two towns bridged by a relay; node 7 starts far away in the south.
-	pos := []geom.Point{
-		geom.Pt(0, 0), geom.Pt(150, 50), geom.Pt(80, 160), // west town
-		geom.Pt(520, 100),                                      // the relay, node 3
-		geom.Pt(950, 0), geom.Pt(1050, 120), geom.Pt(900, 180), // east town
-		geom.Pt(500, 1400), // wanderer, node 7
+	pos := []cbtc.Point{
+		cbtc.Pt(0, 0), cbtc.Pt(150, 50), cbtc.Pt(80, 160), // west town
+		cbtc.Pt(520, 100),                                      // the relay, node 3
+		cbtc.Pt(950, 0), cbtc.Pt(1050, 120), cbtc.Pt(900, 180), // east town
+		cbtc.Pt(500, 1400), // wanderer, node 7
 	}
-	m := radio.Default(500)
 
-	rt, err := proto.Start(pos, netsim.DefaultOptions(m), proto.Config{
-		Alpha:        core.AlphaConnectivity,
-		EnableNDP:    true,
-		BeaconPeriod: 5,
-		LeaveTimeout: 18,
-	})
+	eng, err := cbtc.New(
+		cbtc.WithMaxRadius(500),
+		cbtc.WithAlpha(cbtc.AlphaConnectivity),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := eng.NewSession(context.Background(), pos)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	report := func(when string) {
-		g := rt.TableGraph()
-		fmt.Printf("%-28s components=%d edges=%2d  (live neighbor tables)\n",
-			when, graph.ComponentCount(g), g.EdgeCount())
+		snap, err := sess.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s components=%d edges=%2d  connectivity preserved=%v\n",
+			when, snap.Components(), snap.G.EdgeCount(), snap.PreservesConnectivity())
 	}
+	report("initial topology:")
 
-	// Let the growing phase converge, then script the scenario.
-	rt.Sim.Run(100)
-	report("after CBTC converges:")
-
-	// t=150: the bridge relay dies. The towns must detect the failure
-	// via missed beacons and split into (correct) separate components.
-	rt.Sim.ScheduleAt(150, func() { rt.Sim.Crash(3) })
-	rt.Sim.Run(400)
+	// The bridge relay dies. Its neighbors observe leave events; the
+	// towns (correctly) split into separate components.
+	rep, err := sess.Leave(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  relay crash repaired %d nodes (%d regrows)\n", len(rep.Recomputed), rep.Regrows)
 	report("after relay crash:")
 
-	// t=450: the wanderer moves to the relay position, its beacons are
-	// heard, join events fire, and the towns reconnect through it.
-	rt.Sim.ScheduleAt(450, func() { rt.Sim.MoveNode(7, geom.Pt(520, 100)) })
-	rt.Sim.Run(900)
+	// The wanderer moves to the relay position: its beacon produces join
+	// events in both towns and the network reconnects through it.
+	rep, err = sess.Move(7, cbtc.Pt(520, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wanderer move repaired %d nodes (%d regrows, %d angle changes)\n",
+		len(rep.Recomputed), rep.Regrows, rep.AngleChanges)
 	report("after wanderer takes over:")
 
-	// Verify the live topology matches the ground truth at every stage.
-	gr := currentGR(rt, m)
-	fmt.Printf("\nlive topology preserves current G_R partition: %v\n",
-		graph.SamePartition(gr, rt.TableGraph()))
+	// Reinforce the bridge with a brand-new node; IDs are stable, so the
+	// newcomer gets the next free index.
+	id, rep := sess.Join(cbtc.Pt(600, 40))
+	fmt.Printf("  node %d joined, repairing %d nodes\n", id, len(rep.Recomputed))
+	report("after reinforcement joins:")
 
-	joins, leaves, regrows := 0, 0, 0
-	for _, n := range rt.Nodes {
-		joins += n.Joins
-		leaves += n.Leaves
-		regrows += n.Regrows
-	}
-	fmt.Printf("reconfiguration events: %d joins, %d leaves, %d regrows\n", joins, leaves, regrows)
-}
+	st := sess.Stats()
+	fmt.Printf("\nreconfiguration events: %d joins, %d leaves, %d moves, %d angle changes, %d regrows, %d repairs\n",
+		st.Joins, st.Leaves, st.Moves, st.AngleChanges, st.Regrows, st.Repairs)
 
-// currentGR computes the maximum-power graph over the live positions,
-// excluding the crashed relay.
-func currentGR(rt *proto.Runtime, m radio.Model) *graph.Graph {
-	pos := make([]geom.Point, rt.Sim.Len())
-	for i := range pos {
-		pos[i] = rt.Sim.Position(i)
+	// The session's incremental state equals a from-scratch run over the
+	// current live placement — the §4 convergence property.
+	snap, err := sess.Snapshot()
+	if err != nil {
+		log.Fatal(err)
 	}
-	gr := core.MaxPowerGraph(pos, m)
-	for u := 0; u < gr.Len(); u++ {
-		if rt.Sim.Crashed(u) {
-			for _, v := range gr.Neighbors(u) {
-				gr.RemoveEdge(u, v)
-			}
-		}
-	}
-	return gr
+	fmt.Printf("live topology preserves current G_R partition: %v\n", snap.PreservesConnectivity())
 }

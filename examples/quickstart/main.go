@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,14 +22,20 @@ func main() {
 		cbtc.Pt(900, 500),
 	}
 
-	// CBTC with the paper's tight connectivity bound α = 5π/6 and all
-	// applicable optimizations.
-	cfg := cbtc.Config{
-		Alpha:     cbtc.AlphaConnectivity,
-		MaxRadius: 400,
-	}.AllOptimizations()
+	// Build the engine once: the paper's tight connectivity bound
+	// α = 5π/6 with all applicable optimizations. The engine validates
+	// here, is immutable afterwards, and may be shared by any number of
+	// goroutines.
+	eng, err := cbtc.New(
+		cbtc.WithMaxRadius(400),
+		cbtc.WithAlpha(cbtc.AlphaConnectivity),
+		cbtc.WithAllOptimizations(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	res, err := cbtc.Run(nodes, cfg)
+	res, err := eng.Run(context.Background(), nodes)
 	if err != nil {
 		log.Fatal(err)
 	}

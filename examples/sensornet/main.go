@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,19 +24,24 @@ func main() {
 	// control matters even more.
 	nodes := workload.Uniform(workload.Rand(2024), 300, 2000, 2000)
 	const maxRadius = 500
+	ctx := context.Background()
 
 	type stack struct {
 		name string
-		cfg  cbtc.Config
+		opts []cbtc.Option
 	}
 	stacks := []stack{
-		{"basic α=5π/6", cbtc.Config{Alpha: cbtc.AlphaConnectivity, MaxRadius: maxRadius}},
-		{"basic α=2π/3", cbtc.Config{Alpha: cbtc.AlphaAsymmetric, MaxRadius: maxRadius}},
-		{"all ops α=5π/6", cbtc.Config{Alpha: cbtc.AlphaConnectivity, MaxRadius: maxRadius}.AllOptimizations()},
-		{"all ops α=2π/3", cbtc.Config{Alpha: cbtc.AlphaAsymmetric, MaxRadius: maxRadius}.AllOptimizations()},
+		{"basic α=5π/6", []cbtc.Option{cbtc.WithAlpha(cbtc.AlphaConnectivity)}},
+		{"basic α=2π/3", []cbtc.Option{cbtc.WithAlpha(cbtc.AlphaAsymmetric)}},
+		{"all ops α=5π/6", []cbtc.Option{cbtc.WithAlpha(cbtc.AlphaConnectivity), cbtc.WithAllOptimizations()}},
+		{"all ops α=2π/3", []cbtc.Option{cbtc.WithAlpha(cbtc.AlphaAsymmetric), cbtc.WithAllOptimizations()}},
 	}
 
-	baseline, err := cbtc.MaxPowerTopology(nodes, cbtc.Config{MaxRadius: maxRadius})
+	baseEng, err := cbtc.New(cbtc.WithMaxRadius(maxRadius))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := baseEng.MaxPower(nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +55,11 @@ func main() {
 		stats.F(baselinePower, 0), "1.0", "true")
 
 	for _, st := range stacks {
-		res, err := cbtc.Run(nodes, st.cfg)
+		eng, err := cbtc.New(append([]cbtc.Option{cbtc.WithMaxRadius(maxRadius)}, st.opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(ctx, nodes)
 		if err != nil {
 			log.Fatal(err)
 		}

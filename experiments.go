@@ -1,11 +1,10 @@
 package cbtc
 
 import (
+	"context"
 	"fmt"
 
 	"cbtc/internal/core"
-	"cbtc/internal/graph"
-	"cbtc/internal/radio"
 	"cbtc/internal/stats"
 	"cbtc/internal/workload"
 )
@@ -39,6 +38,16 @@ func (p Table1Params) withDefaults() Table1Params {
 		p.MaxRadius = workload.PaperRadius
 	}
 	return p
+}
+
+// placements draws the random networks of the experiment, one per seed
+// offset, so every driver shares the same sampling rule.
+func (p Table1Params) placements() [][]Point {
+	out := make([][]Point, p.Networks)
+	for i := range out {
+		out[i] = workload.Uniform(workload.Rand(p.Seed+uint64(i)), p.Nodes, p.Width, p.Height)
+	}
+	return out
 }
 
 // Table1Column is one column of the paper's Table 1: an optimization
@@ -91,70 +100,105 @@ type Table1Result struct {
 	Cells []Table1Cell
 }
 
-// RunTable1 regenerates the paper's Table 1: it draws Params.Networks
-// random networks, runs every optimization stack on each, and averages
-// the degree and radius statistics. Executions are shared across stacks
-// with the same α, as the growing phase does not depend on the
-// optimizations.
+// RunTable1 regenerates the paper's Table 1 with a background context;
+// see RunTable1Context.
 func RunTable1(params Table1Params) (*Table1Result, error) {
+	return RunTable1Context(context.Background(), params)
+}
+
+// RunTable1Context regenerates the paper's Table 1: it draws
+// Params.Networks random networks, runs every optimization stack on
+// each, and averages the degree and radius statistics.
+//
+// The networks are independent, so the experiment is embarrassingly
+// parallel: one Engine per cone angle pushes all placements through
+// Engine.RunBatch (the growing phase is shared across the stacks at the
+// same α, as it does not depend on the optimizations), and the
+// optimization stacks are then derived per network on the same worker
+// pool. Cancelling ctx aborts the run.
+func RunTable1Context(ctx context.Context, params Table1Params) (*Table1Result, error) {
 	p := params.withDefaults()
-	m, err := radio.NewModel(radio.FreeSpaceExponent, p.MaxRadius, 1)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
+	placements := p.placements()
 	cols := Table1Columns()
-	degree := make([]stats.Sample, len(cols))
-	radius := make([]stats.Sample, len(cols))
 
 	// The paper's simulation ran the discrete protocol of Figure 1, whose
 	// shrink-back operates on whole power levels of the growth schedule;
-	// quantize the oracle's exact tags to a schedule of the same
-	// granularity so op1 matches. The factor is calibrated against the
-	// published op1 row (doubling is slightly too coarse, exact tags
+	// the engines quantize the oracle's exact tags to a schedule of the
+	// same granularity so op1 matches. The factor is calibrated against
+	// the published op1 row (doubling is slightly too coarse, exact tags
 	// slightly too fine; see EXPERIMENTS.md).
-	inc, err := radio.Multiplicative(table1ScheduleFactor)
-	if err != nil {
-		return nil, err
-	}
-	schedule, err := radio.Schedule(m.MaxPower()/1024, m.MaxPower(), inc)
-	if err != nil {
-		return nil, err
+	engines := map[float64]*Engine{}
+	basics := map[float64][]*Result{}
+	var anyEngine *Engine
+	for _, col := range cols {
+		if col.MaxPower {
+			continue
+		}
+		if _, ok := engines[col.Alpha]; ok {
+			continue
+		}
+		eng, err := New(
+			WithMaxRadius(p.MaxRadius),
+			WithAlpha(col.Alpha),
+			WithShrinkBackSchedule(table1ScheduleFactor),
+		)
+		if err != nil {
+			return nil, err
+		}
+		batch, err := eng.RunBatch(ctx, placements)
+		if err != nil {
+			return nil, err
+		}
+		engines[col.Alpha] = eng
+		basics[col.Alpha] = batch
+		anyEngine = eng
 	}
 
-	for net := 0; net < p.Networks; net++ {
-		pos := workload.Uniform(workload.Rand(p.Seed+uint64(net)), p.Nodes, p.Width, p.Height)
-		execs := map[float64]*core.Execution{}
+	// Derive every optimization stack from the shared executions, still
+	// fanned across the worker pool. Per-network cells are accumulated
+	// into fixed slots so the averaging order — and hence the result —
+	// is deterministic regardless of scheduling.
+	cells := make([][]Table1Cell, len(cols))
+	for ci := range cells {
+		cells[ci] = make([]Table1Cell, p.Networks)
+	}
+	err := forEachParallel(ctx, p.Networks, 0, func(ctx context.Context, net int) error {
 		for ci, col := range cols {
-			if col.MaxPower {
-				gr := core.MaxPowerGraph(pos, m)
-				degree[ci].Add(graph.AvgDegree(gr))
-				radius[ci].Add(p.MaxRadius)
-				continue
-			}
-			exec, ok := execs[col.Alpha]
-			if !ok {
-				exec, err = core.Run(pos, m, col.Alpha)
+			switch {
+			case col.MaxPower:
+				res, err := anyEngine.MaxPower(placements[net])
 				if err != nil {
-					return nil, err
+					return err
 				}
-				exec = core.QuantizeTags(exec, schedule)
-				execs[col.Alpha] = exec
+				cells[ci][net] = Table1Cell{AvgDegree: res.AvgDegree, AvgRadius: res.AvgRadius}
+			case col.Opts == (core.Options{}):
+				base := basics[col.Alpha][net]
+				cells[ci][net] = Table1Cell{AvgDegree: base.AvgDegree, AvgRadius: base.AvgRadius}
+			default:
+				topo, err := core.BuildTopology(basics[col.Alpha][net].topo.Exec, col.Opts)
+				if err != nil {
+					return err
+				}
+				s := topo.Summarize()
+				cells[ci][net] = Table1Cell{AvgDegree: s.AvgDegree, AvgRadius: s.AvgRadius}
 			}
-			topo, err := core.BuildTopology(exec, col.Opts)
-			if err != nil {
-				return nil, err
-			}
-			s := topo.Summarize()
-			degree[ci].Add(s.AvgDegree)
-			radius[ci].Add(s.AvgRadius)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Table1Result{Params: p, Columns: cols, Cells: make([]Table1Cell, len(cols))}
 	for ci := range cols {
+		var degree, radius stats.Sample
+		for net := 0; net < p.Networks; net++ {
+			degree.Add(cells[ci][net].AvgDegree)
+			radius.Add(cells[ci][net].AvgRadius)
+		}
 		res.Cells[ci] = Table1Cell{
-			AvgDegree: degree[ci].Mean(),
-			AvgRadius: radius[ci].Mean(),
+			AvgDegree: degree.Mean(),
+			AvgRadius: radius.Mean(),
 		}
 	}
 	return res, nil
@@ -181,28 +225,21 @@ type Panel struct {
 	Result *Result
 }
 
-// Figure6Panels regenerates the paper's Figure 6 on one random network
-// drawn with the paper's parameters: the same 100-node placement run
-// through (a) no topology control, (b,c) the basic algorithm at 2π/3 and
-// 5π/6, (d,e) with shrink-back, (f) shrink-back plus asymmetric edge
-// removal at 2π/3, and (g,h) all applicable optimizations.
+// Figure6Panels regenerates the paper's Figure 6 with a background
+// context; see Figure6PanelsContext.
 func Figure6Panels(seed uint64) ([]Panel, error) {
+	return Figure6PanelsContext(context.Background(), seed)
+}
+
+// Figure6PanelsContext regenerates the paper's Figure 6 on one random
+// network drawn with the paper's parameters: the same 100-node placement
+// run through (a) no topology control, (b,c) the basic algorithm at 2π/3
+// and 5π/6, (d,e) with shrink-back, (f) shrink-back plus asymmetric edge
+// removal at 2π/3, and (g,h) all applicable optimizations. The eight
+// independent configurations run on the batch worker pool.
+func Figure6PanelsContext(ctx context.Context, seed uint64) ([]Panel, error) {
 	pos := workload.PaperNetwork(seed)
 	base := Config{MaxRadius: workload.PaperRadius}
-
-	mk := func(key, title string, cfg Config, maxPower bool) (Panel, error) {
-		var res *Result
-		var err error
-		if maxPower {
-			res, err = MaxPowerTopology(pos, cfg)
-		} else {
-			res, err = Run(pos, cfg)
-		}
-		if err != nil {
-			return Panel{}, fmt.Errorf("panel %s: %w", key, err)
-		}
-		return Panel{Key: key, Title: title, Result: res}, nil
-	}
 
 	cfg23 := base
 	cfg23.Alpha = AlphaAsymmetric
@@ -227,13 +264,27 @@ func Figure6Panels(seed uint64) ([]Panel, error) {
 		{"g", "α=5π/6 with all applicable optimizations", pairwise(shrink(cfg56)), false},
 		{"h", "α=2π/3 with all optimizations", pairwise(asym(shrink(cfg23))), false},
 	}
-	panels := make([]Panel, 0, len(specs))
-	for _, sp := range specs {
-		p, err := mk(sp.key, sp.title, sp.cfg, sp.maxPower)
+	panels := make([]Panel, len(specs))
+	err := forEachParallel(ctx, len(specs), 0, func(ctx context.Context, i int) error {
+		sp := specs[i]
+		eng, err := New(WithConfig(sp.cfg))
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("panel %s: %w", sp.key, err)
 		}
-		panels = append(panels, p)
+		var res *Result
+		if sp.maxPower {
+			res, err = eng.MaxPower(pos)
+		} else {
+			res, err = eng.Run(ctx, pos)
+		}
+		if err != nil {
+			return fmt.Errorf("panel %s: %w", sp.key, err)
+		}
+		panels[i] = Panel{Key: sp.key, Title: sp.title, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return panels, nil
 }

@@ -1,0 +1,3 @@
+module cbtc
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"cbtc/internal/geom"
@@ -23,6 +24,18 @@ const distTieTol = 1e-12
 // (equidistant nodes as one group) and stops at the first prefix whose
 // direction set has no α-gap.
 func Run(pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+	return RunContext(context.Background(), pos, m, alpha)
+}
+
+// ctxCheckStride is how many nodes RunContext processes between context
+// polls: frequent enough to abort large runs promptly, rare enough that
+// the poll cost vanishes against the per-node O(n log n) work.
+const ctxCheckStride = 16
+
+// RunContext is Run with cooperative cancellation: it polls ctx between
+// node computations and returns ctx.Err() if the context ends before the
+// execution completes.
+func RunContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
 	if err := validateInput(pos, m, alpha); err != nil {
 		return nil, err
 	}
@@ -33,7 +46,12 @@ func Run(pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
 		Nodes: make([]NodeResult, len(pos)),
 	}
 	for u := range pos {
-		exec.Nodes[u] = runNode(pos, m, alpha, u)
+		if u%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		exec.Nodes[u] = RunNode(pos, nil, m, alpha, u)
 	}
 	return exec, nil
 }
@@ -45,9 +63,13 @@ type candidate struct {
 	dir  float64
 }
 
-// runNode computes N_α(u) for a single node.
-func runNode(pos []geom.Point, m radio.Model, alpha float64, u int) NodeResult {
-	cands := reachableCandidates(pos, m, u)
+// RunNode computes N_α(u) for a single node under the minimal-power
+// semantics, considering only nodes v with alive[v] as candidates (a nil
+// mask means every node is alive). The per-node form is what incremental
+// §4 reconfiguration uses: after a join/leave/move, only the nodes whose
+// candidate set changed need recomputing.
+func RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int) NodeResult {
+	cands := reachableCandidates(pos, alive, m, u)
 
 	neighbors := make([]Discovery, 0, len(cands))
 	dirs := make([]float64, 0, len(cands))
@@ -89,13 +111,13 @@ func runNode(pos []geom.Point, m radio.Model, alpha float64, u int) NodeResult {
 	}
 }
 
-// reachableCandidates returns the nodes within communication range R of
-// u, sorted by distance (ties broken by index for determinism).
-func reachableCandidates(pos []geom.Point, m radio.Model, u int) []candidate {
+// reachableCandidates returns the live nodes within communication range
+// R of u, sorted by distance (ties broken by index for determinism).
+func reachableCandidates(pos []geom.Point, alive []bool, m radio.Model, u int) []candidate {
 	r := m.MaxRadius
 	out := make([]candidate, 0, 16)
 	for v, pv := range pos {
-		if v == u {
+		if v == u || (alive != nil && !alive[v]) {
 			continue
 		}
 		d := pos[u].Dist(pv)

@@ -86,6 +86,18 @@ func QuantizeTags(e *Execution, schedule []float64) *Execution {
 	return out
 }
 
+// QuantizeNeighbors is the per-node form of QuantizeTags: it returns a
+// copy of the neighbor list with discovery-power tags rounded up to the
+// schedule. Incremental reconfiguration uses it to keep regrown nodes on
+// the same tag granularity as the initial execution.
+func QuantizeNeighbors(neighbors []Discovery, schedule []float64) []Discovery {
+	out := append([]Discovery(nil), neighbors...)
+	for i, nb := range out {
+		out[i].Power = quantizeUp(nb.Power, schedule)
+	}
+	return out
+}
+
 func quantizeUp(p float64, schedule []float64) float64 {
 	for _, s := range schedule {
 		if s >= p {

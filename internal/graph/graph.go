@@ -68,6 +68,17 @@ func (g *Graph) RemoveEdge(u, v int) {
 	delete(g.adj[v], u)
 }
 
+// IsolateNode removes every edge incident to u, leaving it an isolated
+// vertex. Dynamic scenarios use it to model departed nodes in a
+// ground-truth graph.
+func (g *Graph) IsolateNode(u int) {
+	g.check(u)
+	for v := range g.adj[u] {
+		delete(g.adj[v], u)
+	}
+	g.adj[u] = make(map[int]struct{})
+}
+
 // HasEdge reports whether the undirected edge {u, v} is present.
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)

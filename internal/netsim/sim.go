@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
@@ -61,9 +62,22 @@ type Sim struct {
 	procs   []Process
 	crashed []bool
 
-	stats    Stats
-	energyTx []float64
+	stats     Stats
+	energyTx  []float64
+	interrupt func() bool
 }
+
+// ErrInterrupted reports that an installed interrupt callback stopped
+// the event loop before the queue drained.
+var ErrInterrupted = errors.New("netsim: interrupted")
+
+// SetInterrupt installs a callback polled before each event; when it
+// returns true, Run stops early and RunUntilQuiet fails with an error
+// wrapping ErrInterrupted. It is how context cancellation reaches the
+// event loop: the driver installs func() bool { return ctx.Err() != nil }.
+func (s *Sim) SetInterrupt(fn func() bool) { s.interrupt = fn }
+
+func (s *Sim) interrupted() bool { return s.interrupt != nil && s.interrupt() }
 
 type event struct {
 	at  float64
@@ -202,7 +216,7 @@ func (s *Sim) ScheduleAt(t float64, fn func()) {
 func (s *Sim) Run(until float64) int {
 	processed := 0
 	for s.queue.Len() > 0 {
-		if s.queue[0].at > until {
+		if s.queue[0].at > until || s.interrupted() {
 			break
 		}
 		ev := heap.Pop(&s.queue).(event)
@@ -221,6 +235,9 @@ func (s *Sim) Run(until float64) int {
 // clock passes maxTime first (a protocol that never converges).
 func (s *Sim) RunUntilQuiet(maxTime float64) error {
 	for s.queue.Len() > 0 {
+		if s.interrupted() {
+			return fmt.Errorf("%w at time %v with %d events pending", ErrInterrupted, s.now, s.queue.Len())
+		}
 		if s.queue[0].at > maxTime {
 			return fmt.Errorf("netsim: still %d events pending at time %v (limit %v)",
 				s.queue.Len(), s.queue[0].at, maxTime)

@@ -1,6 +1,8 @@
 package proto
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"cbtc/internal/core"
@@ -43,6 +45,13 @@ func Start(pos []geom.Point, simOpts netsim.Options, cfg Config) (*Runtime, erro
 // disabled (otherwise beacons keep the event queue busy forever; script
 // those scenarios through Start and Sim.Run instead).
 func RunCBTC(pos []geom.Point, simOpts netsim.Options, cfg Config) (*core.Execution, *Runtime, error) {
+	return RunCBTCContext(context.Background(), pos, simOpts, cfg)
+}
+
+// RunCBTCContext is RunCBTC with cooperative cancellation: the context
+// is polled between simulator events, and an ended context aborts the
+// run with ctx.Err().
+func RunCBTCContext(ctx context.Context, pos []geom.Point, simOpts netsim.Options, cfg Config) (*core.Execution, *Runtime, error) {
 	if cfg.EnableNDP {
 		return nil, nil, fmt.Errorf("%w: RunCBTC requires NDP disabled", ErrBadConfig)
 	}
@@ -50,9 +59,15 @@ func RunCBTC(pos []geom.Point, simOpts netsim.Options, cfg Config) (*core.Execut
 	if err != nil {
 		return nil, nil, err
 	}
+	if ctx.Done() != nil {
+		rt.Sim.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	// Generous convergence budget: rounds × duration plus message slack.
 	limit := 10000 * (cfg.withDefaults(simOpts.Model, simOpts.MaxDelay()).RoundDuration + simOpts.MaxDelay())
 	if err := rt.Sim.RunUntilQuiet(limit); err != nil {
+		if errors.Is(err, netsim.ErrInterrupted) && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		return nil, nil, fmt.Errorf("proto: growing phase did not converge: %w", err)
 	}
 	for i, n := range rt.Nodes {
@@ -60,6 +75,10 @@ func RunCBTC(pos []geom.Point, simOpts netsim.Options, cfg Config) (*core.Execut
 			return nil, nil, fmt.Errorf("proto: node %d never finished its growing phase", i)
 		}
 	}
+	// The returned Runtime outlives this call (callers script further
+	// scenarios through rt.Sim); do not leave the ctx-bound interrupt
+	// armed on it.
+	rt.Sim.SetInterrupt(nil)
 	return rt.Execution(), rt, nil
 }
 

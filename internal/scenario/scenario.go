@@ -103,7 +103,7 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("%w: need at least one node", ErrBadScenario)
 	}
 	count := len(s.Nodes)
-	events := s.sortedEvents()
+	events := s.SortedEvents()
 	for i, ev := range events {
 		if ev.At < 0 {
 			return fmt.Errorf("%w: event %d has negative time", ErrBadScenario, i)
@@ -128,7 +128,9 @@ func (s *Scenario) Validate() error {
 	return nil
 }
 
-func (s *Scenario) sortedEvents() []Event {
+// SortedEvents returns the timeline ordered by event time (stable for
+// equal times), leaving the scenario unmodified.
+func (s *Scenario) SortedEvents() []Event {
 	events := append([]Event(nil), s.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	return events
@@ -194,7 +196,7 @@ func Run(s *Scenario) (*Report, error) {
 		settle = 100
 	}
 	report := &Report{}
-	events := s.sortedEvents()
+	events := s.SortedEvents()
 	for _, ev := range events {
 		ev := ev
 		at := settle + ev.At
@@ -254,9 +256,7 @@ func groundTruth(rt *proto.Runtime) *graph.Graph {
 	gr := core.MaxPowerGraph(pos, rt.Sim.Model())
 	for u := 0; u < gr.Len(); u++ {
 		if rt.Sim.Crashed(u) {
-			for _, v := range gr.Neighbors(u) {
-				gr.RemoveEdge(u, v)
-			}
+			gr.IsolateNode(u)
 		}
 	}
 	return gr

@@ -33,10 +33,17 @@ type Result struct {
 }
 
 func newResult(nodes []Point, m radio.Model, topo *core.Topology) *Result {
+	return newResultWithGR(nodes, m, topo, core.MaxPowerGraph(nodes, m))
+}
+
+// newResultWithGR builds a Result against a caller-supplied ground-truth
+// graph. Sessions use it: their G_R must isolate departed nodes, which
+// the plain max-power graph over remembered positions would reconnect.
+func newResultWithGR(nodes []Point, m radio.Model, topo *core.Topology, gr *Graph) *Result {
 	n := len(nodes)
 	r := &Result{
 		G:        topo.G,
-		GR:       core.MaxPowerGraph(nodes, m),
+		GR:       gr,
 		Pos:      append([]Point(nil), nodes...),
 		Radii:    make([]float64, n),
 		Powers:   make([]float64, n),
@@ -108,6 +115,24 @@ func (r *Result) DistanceStretch() float64 {
 // GR.
 func (r *Result) HopStretch() float64 {
 	return graph.HopStretch(r.GR, r.G)
+}
+
+// DirectedNeighbors returns N_α(u): the directed neighbor set node u
+// discovered during its growing phase, after per-node pruning. The
+// relation is not symmetric for α > 2π/3 (Example 2.1); G is its
+// symmetric closure (or mutual subset under asymmetric removal). It
+// returns nil for results without an execution (the max-power baseline
+// and the position-based baselines).
+func (r *Result) DirectedNeighbors(u int) []int {
+	if r.topo == nil {
+		return nil
+	}
+	nbs := r.topo.Exec.Nodes[u].Neighbors
+	out := make([]int, len(nbs))
+	for i, nb := range nbs {
+		out[i] = nb.ID
+	}
+	return out
 }
 
 // RemovedRedundant returns the edges deleted by pairwise edge removal

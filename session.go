@@ -1,0 +1,357 @@
+package cbtc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cbtc/internal/core"
+)
+
+// ErrBadEvent reports a Session event referencing an unknown or departed
+// node.
+var ErrBadEvent = errors.New("cbtc: invalid session event")
+
+// Session maintains a long-lived, evolving CBTC(α) topology under the
+// paper's §4 reconfiguration semantics. Join, Leave and Move events
+// repair the topology incrementally: only the nodes whose candidate
+// neighborhood the event could have changed — those within maximum
+// radius R of the event site — are touched. Every other node keeps its
+// state untouched. Each affected observer's event is first classified
+// through its §4 state machine (a leaveᵤ/aChangeᵤ that opens an α-gap
+// means the node must regrow; anything else is an in-place repair),
+// and the affected region is then recomputed to the exact minimal-
+// power fixed point.
+//
+// The maintained fixed point is exact: at any moment the live topology
+// equals what a fresh Engine.Run over the current live placement would
+// produce, so all of the paper's guarantees (connectivity for α ≤ 5π/6,
+// the optimization theorems) hold continuously.
+//
+// A Session is safe for concurrent use; events are serialized
+// internally. Node IDs are stable: departed nodes keep their index and
+// are reported as isolated, and Join always appends a fresh ID.
+type Session struct {
+	eng *Engine
+
+	mu     sync.Mutex
+	pos    []Point
+	alive  []bool
+	nodes  []core.NodeResult
+	recs   []*core.Reconfigurator
+	stats  SessionStats
+	cached *Result
+}
+
+// SessionStats aggregates the reconfiguration activity a Session has
+// seen, in the vocabulary of §4.
+type SessionStats struct {
+	// Joins, Leaves and Moves count the events applied to the session.
+	Joins, Leaves, Moves int
+	// AngleChanges counts aChangeᵤ(v) observations: a still-reachable
+	// neighbor v whose bearing moved.
+	AngleChanges int
+	// Regrows counts observers whose event opened an α-gap, forcing the
+	// node to rerun its growing phase (from p(rad⁻) — Theorem 4.1's
+	// restart rule).
+	Regrows int
+	// Repairs counts observers whose state was fixed in place without a
+	// regrow (neighbor inserted, dropped, or shrunk back).
+	Repairs int
+}
+
+// EventReport describes how one Join/Leave/Move event propagated.
+type EventReport struct {
+	// AngleChanges, Regrows and Repairs are this event's contribution to
+	// the session statistics.
+	AngleChanges, Regrows, Repairs int
+	// Recomputed lists the nodes whose neighbor state was rebuilt —
+	// the event node plus every live node within R of the event site.
+	Recomputed []int
+}
+
+// NewSession runs CBTC(α) on the placement and returns a Session
+// maintaining the result under reconfiguration events. Cancelling ctx
+// aborts the initial computation.
+func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error) {
+	exec, err := core.RunContext(ctx, nodes, e.model, e.cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if e.schedule != nil {
+		exec = core.QuantizeTags(exec, e.schedule)
+	}
+	s := &Session{
+		eng:   e,
+		pos:   append([]Point(nil), nodes...),
+		alive: make([]bool, len(nodes)),
+		nodes: exec.Nodes,
+		recs:  make([]*core.Reconfigurator, len(nodes)),
+	}
+	for i := range nodes {
+		s.alive[i] = true
+		s.recs[i] = core.NewReconfigurator(e.cfg.Alpha, e.model, exec.Nodes[i].Neighbors)
+	}
+	return s, nil
+}
+
+// Join introduces a new node at p — the §4 join scenario. It returns
+// the node's ID (stable for the session's lifetime) and a report of the
+// repair the event triggered.
+func (s *Session) Join(p Point) (int, EventReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := len(s.pos)
+	s.pos = append(s.pos, p)
+	s.alive = append(s.alive, true)
+	s.nodes = append(s.nodes, core.NodeResult{})
+	s.recs = append(s.recs, nil)
+	s.stats.Joins++
+
+	// The newcomer's beacon is a joinᵤ(id) event at every node that can
+	// hear it; §4 always repairs a join in place (insert, then shrink
+	// back), so no per-observer classification is needed before the
+	// recompute below rebuilds the affected region.
+	var rep EventReport
+	observers := s.withinRange(id, p)
+	rep.Repairs = len(observers)
+	s.stats.Repairs += rep.Repairs
+	rep.Recomputed = s.recompute(append(observers, id))
+	return id, rep
+}
+
+// Leave removes a node — the §4 leave scenario (a crash or departure;
+// in the protocol, detected by missed beacons). Neighbors whose cone
+// coverage loses its last member in some direction regrow; the rest
+// repair in place.
+func (s *Session) Leave(id int) (EventReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLive(id); err != nil {
+		return EventReport{}, err
+	}
+	s.alive[id] = false
+	s.stats.Leaves++
+
+	var rep EventReport
+	observers := s.withinRange(id, s.pos[id])
+	for _, u := range observers {
+		if !s.recs[u].Has(id) {
+			continue
+		}
+		if s.recs[u].Leave(id) == core.ActionRegrow {
+			rep.Regrows++
+		} else {
+			rep.Repairs++
+		}
+	}
+	s.stats.Regrows += rep.Regrows
+	s.stats.Repairs += rep.Repairs
+	rep.Recomputed = s.recompute(append(observers, id))
+	return rep, nil
+}
+
+// Move relocates a live node to p. Observers that still reach the node
+// see an aChangeᵤ event (bearing moved), nodes it left behind see a
+// leaveᵤ, nodes it approached see a joinᵤ; the moved node itself regrows
+// from its new position. Gaps opened by any of these trigger regrows,
+// exactly as §4 prescribes.
+func (s *Session) Move(id int, p Point) (EventReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLive(id); err != nil {
+		return EventReport{}, err
+	}
+	old := s.pos[id]
+	s.pos[id] = p
+	s.stats.Moves++
+
+	var rep EventReport
+	// Observers around either position; the moved node itself regrows.
+	observers := union(s.withinRange(id, old), s.withinRange(id, p))
+	r := s.eng.model.MaxRadius * (1 + rangeSlack)
+	for _, u := range observers {
+		was := s.recs[u].Has(id)
+		reaches := s.pos[u].Dist(p) <= r
+		switch {
+		case was && reaches:
+			rep.AngleChanges++
+			if s.recs[u].AngleChange(id, s.pos[u].Bearing(p)) == core.ActionRegrow {
+				rep.Regrows++
+			} else {
+				rep.Repairs++
+			}
+		case was && !reaches:
+			if s.recs[u].Leave(id) == core.ActionRegrow {
+				rep.Regrows++
+			} else {
+				rep.Repairs++
+			}
+		case !was && reaches:
+			// A joinᵤ observation: always an in-place repair (§4).
+			rep.Repairs++
+		}
+	}
+	rep.Regrows++ // the moved node reruns its growing phase
+	s.stats.AngleChanges += rep.AngleChanges
+	s.stats.Regrows += rep.Regrows
+	s.stats.Repairs += rep.Repairs
+	rep.Recomputed = s.recompute(append(observers, id))
+	return rep, nil
+}
+
+// Snapshot returns the live topology as a Result — the same artifact
+// Engine.Run produces, over the session's current placement. Departed
+// nodes appear isolated, in both the topology and its ground-truth
+// G_R, so Result.PreservesConnectivity keeps its meaning. Snapshots are
+// cached between events.
+func (s *Session) Snapshot() (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cached != nil {
+		return s.cached, nil
+	}
+	exec := &core.Execution{
+		Alpha: s.eng.cfg.Alpha,
+		Model: s.eng.model,
+		Pos:   append([]Point(nil), s.pos...),
+		Nodes: append([]core.NodeResult(nil), s.nodes...),
+	}
+	topo, err := core.BuildTopology(exec, s.eng.opts)
+	if err != nil {
+		return nil, fmt.Errorf("cbtc: session snapshot: %w", err)
+	}
+	gr := core.MaxPowerGraph(s.pos, s.eng.model)
+	for u := range s.alive {
+		if !s.alive[u] {
+			gr.IsolateNode(u)
+		}
+	}
+	s.cached = newResultWithGR(s.pos, s.eng.model, topo, gr)
+	return s.cached, nil
+}
+
+// Stats returns the cumulative reconfiguration statistics.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of node slots ever allocated, including
+// departed nodes.
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pos)
+}
+
+// LiveCount returns the number of live nodes.
+func (s *Session) LiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Alive reports whether id identifies a live node.
+func (s *Session) Alive(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return id >= 0 && id < len(s.alive) && s.alive[id]
+}
+
+// Position returns node id's current position (its last position if it
+// departed). It panics on an id the session never allocated, matching
+// the Graph accessors.
+func (s *Session) Position(id int) Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.pos) {
+		panic(fmt.Sprintf("cbtc: session has no node %d (len %d)", id, len(s.pos)))
+	}
+	return s.pos[id]
+}
+
+// Engine returns the engine whose configuration the session maintains.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// rangeSlack widens the affected-region test slightly beyond R so that
+// borderline candidates (admitted by the oracle's own distance
+// tolerance) are never missed. Over-inclusion only costs a recompute;
+// under-inclusion would let stale state survive.
+const rangeSlack = 1e-9
+
+// withinRange returns the live nodes other than self within R of p.
+func (s *Session) withinRange(self int, p Point) []int {
+	r := s.eng.model.MaxRadius * (1 + rangeSlack)
+	out := make([]int, 0, 16)
+	for v := range s.pos {
+		if v == self || !s.alive[v] {
+			continue
+		}
+		if s.pos[v].Dist(p) <= r {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// recompute rebuilds the exact minimal-power state of every listed node
+// over the current live placement and resets its §4 state machine. It
+// returns the ids actually recomputed (duplicates removed, in input
+// order) and invalidates the snapshot cache.
+func (s *Session) recompute(ids []int) []int {
+	seen := make(map[int]bool, len(ids))
+	out := make([]int, 0, len(ids))
+	for _, u := range ids {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		out = append(out, u)
+		if !s.alive[u] {
+			s.nodes[u] = core.NodeResult{}
+			s.recs[u] = nil
+			continue
+		}
+		nr := core.RunNode(s.pos, s.alive, s.eng.model, s.eng.cfg.Alpha, u)
+		if s.eng.schedule != nil {
+			nr.Neighbors = core.QuantizeNeighbors(nr.Neighbors, s.eng.schedule)
+		}
+		s.nodes[u] = nr
+		s.recs[u] = core.NewReconfigurator(s.eng.cfg.Alpha, s.eng.model, nr.Neighbors)
+	}
+	s.cached = nil
+	return out
+}
+
+func (s *Session) checkLive(id int) error {
+	if id < 0 || id >= len(s.pos) {
+		return fmt.Errorf("%w: node %d does not exist", ErrBadEvent, id)
+	}
+	if !s.alive[id] {
+		return fmt.Errorf("%w: node %d already departed", ErrBadEvent, id)
+	}
+	return nil
+}
+
+func union(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, lst := range [2][]int{a, b} {
+		for _, v := range lst {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
