@@ -55,25 +55,34 @@ func BaselineKinds() []BaselineKind {
 // the same analyses. The engine's optimization stack does not apply —
 // baselines have their own construction rules.
 func (e *Engine) Baseline(kind BaselineKind, nodes []Point) (*Result, error) {
-	m := e.model
+	return e.baselineIndexed(kind, nodes, baseline.NewIndex(nodes, e.model.MaxRadius), nil)
+}
+
+// baselineIndexed builds one comparator from a caller-shared spatial
+// index; gr, if non-nil, is a precomputed ground-truth G_R reused across
+// rows (CompareBaselines builds both once per placement).
+func (e *Engine) baselineIndexed(kind BaselineKind, nodes []Point, ix *baseline.Index, gr *graph.Graph) (*Result, error) {
 	var g *graph.Graph
 	var err error
 	switch kind {
 	case BaselineRNG:
-		g = baseline.RNG(nodes, m.MaxRadius)
+		g = ix.RNG()
 	case BaselineGabriel:
-		g = baseline.Gabriel(nodes, m.MaxRadius)
+		g = ix.Gabriel()
 	case BaselineYao6:
-		g, err = baseline.YaoSymmetric(nodes, m.MaxRadius, 6)
+		g, err = ix.YaoSymmetric(6)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 	case BaselineMinMaxRadius:
-		g, _ = baseline.MinMaxRadius(nodes, m.MaxRadius)
+		g, _ = ix.MinMaxRadius()
 	default:
 		return nil, fmt.Errorf("%w: unknown baseline %v", ErrBadConfig, kind)
 	}
-	return baselineResult(nodes, m, g), nil
+	if gr == nil {
+		gr = core.MaxPowerGraph(nodes, e.model)
+	}
+	return baselineResultWithGR(nodes, e.model, g, gr), nil
 }
 
 // BetaSkeleton builds the lune-based β-skeleton over the placement for
@@ -112,10 +121,14 @@ func RunBetaSkeleton(beta float64, nodes []Point, cfg Config) (*Result, error) {
 }
 
 func baselineResult(nodes []Point, m radio.Model, g *graph.Graph) *Result {
+	return baselineResultWithGR(nodes, m, g, core.MaxPowerGraph(nodes, m))
+}
+
+func baselineResultWithGR(nodes []Point, m radio.Model, g, gr *graph.Graph) *Result {
 	n := len(nodes)
 	res := &Result{
 		G:        g,
-		GR:       core.MaxPowerGraph(nodes, m),
+		GR:       gr,
 		Pos:      append([]Point(nil), nodes...),
 		Radii:    make([]float64, n),
 		Powers:   make([]float64, n),
@@ -154,6 +167,12 @@ type ComparisonRow struct {
 // worker pool. Only cfg's radio-model fields are read — MaxRadius and
 // PathLossExponent; Alpha and the optimization flags are ignored, as
 // each row fixes its own cone angle and stack.
+//
+// The position-based rows share one spatial index and one ground-truth
+// G_R built up front for the placement, so the per-row cost is the
+// construction itself, not repeated quadratic scans; the returned
+// baseline Results consequently share their GR graph (callers must not
+// mutate it).
 func CompareBaselines(ctx context.Context, nodes []Point, cfg Config) ([]ComparisonRow, error) {
 	base := Config{MaxRadius: cfg.MaxRadius, PathLossExponent: cfg.PathLossExponent}
 	cfg23 := base
@@ -179,11 +198,17 @@ func CompareBaselines(ctx context.Context, nodes []Point, cfg Config) ([]Compari
 			return eng.Run(ctx, nodes)
 		}, cfg23.AllOptimizations()},
 	}
+	refEng, refErr := New(WithConfig(base))
+	if refErr != nil {
+		return nil, refErr
+	}
+	ix := baseline.NewIndex(nodes, refEng.model.MaxRadius)
+	gr := core.MaxPowerGraph(nodes, refEng.model)
 	for _, kind := range BaselineKinds() {
 		kind := kind
 		specs = append(specs, spec{kind.String() + " (positions)", true,
 			func(_ context.Context, eng *Engine) (*Result, error) {
-				return eng.Baseline(kind, nodes)
+				return eng.baselineIndexed(kind, nodes, ix, gr)
 			}, base})
 	}
 

@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"cbtc/internal/core"
+	"cbtc/internal/geom"
 	"cbtc/internal/graph"
 	"cbtc/internal/netsim"
 	"cbtc/internal/proto"
@@ -357,6 +358,96 @@ func BenchmarkGrowingPhaseEnergy(b *testing.B) {
 				energy = rt.Sim.TotalEnergy()
 			}
 			b.ReportMetric(energy, "total-energy")
+		})
+	}
+}
+
+// BenchmarkLargeN is the scaling suite of the spatial-index tentpole:
+// the large-n scenario family (uniform + clustered, constant paper
+// density) pushed through the oracle, the distributed simulator, and
+// Session repair, with naive full-scan variants as the reference. The
+// CI bench job asserts the grid keeps its ≥5× lead over the naive oracle
+// at n = 5000 (in practice the gap is 1–2 orders of magnitude). Naive
+// variants only run at the sizes where a single iteration stays
+// interactive; run with -benchtime=1x to regenerate the README table.
+func BenchmarkLargeN(b *testing.B) {
+	ctx := context.Background()
+	for _, sc := range workload.LargeN() {
+		sc := sc
+		pos := sc.Placement(7)
+		m := radio.Default(sc.Radius)
+
+		b.Run(sc.Name+"/oracle/grid", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunContext(ctx, pos, m, AlphaConnectivity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if sc.N <= 5000 {
+			b.Run(sc.Name+"/oracle/naive", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.RunNaive(ctx, pos, m, AlphaConnectivity); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+
+		if sc.N <= 5000 {
+			b.Run(sc.Name+"/sim/grid", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					opts := netsim.DefaultOptions(m)
+					opts.Seed = uint64(i)
+					if _, _, err := proto.RunCBTC(pos, opts, proto.Config{Alpha: AlphaConnectivity}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		if sc.N <= 1000 {
+			b.Run(sc.Name+"/sim/naive", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					opts := netsim.DefaultOptions(m)
+					opts.Seed = uint64(i)
+					opts.NaiveDelivery = true
+					if _, _, err := proto.RunCBTC(pos, opts, proto.Config{Alpha: AlphaConnectivity}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+
+		b.Run(sc.Name+"/session-repair", func(b *testing.B) {
+			eng, err := New(WithMaxRadius(sc.Radius))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := eng.NewSession(ctx, pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := workload.Rand(99)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var recomputed int
+			for i := 0; i < b.N; i++ {
+				id := rng.IntN(len(pos))
+				if !sess.Alive(id) {
+					continue
+				}
+				to := geom.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+				rep, err := sess.Move(id, to)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recomputed += len(rep.Recomputed)
+			}
+			b.ReportMetric(float64(recomputed)/float64(b.N), "recomputed/op")
 		})
 	}
 }

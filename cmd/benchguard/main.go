@@ -1,0 +1,214 @@
+// Command benchguard parses `go test -bench` output and gates benchmark
+// regressions in CI.
+//
+// Parse mode converts benchmark text into a JSON report of ns/op per
+// benchmark (CPU-count suffixes stripped, so names are stable across
+// machines):
+//
+//	go test -run=- -bench=. -benchtime=1x . | tee bench.out
+//	benchguard -parse bench.out -out current.json
+//
+// Check mode compares a current report against a committed baseline and
+// exits non-zero if any tracked benchmark regressed beyond the
+// tolerance, a tracked benchmark disappeared, or a required
+// grid-vs-naive speedup ratio is no longer met:
+//
+//	benchguard -check -baseline BENCH_PR2.json -current current.json
+//
+// The baseline's absolute ns/op values are machine-dependent — regenerate
+// them (parse mode writes the same schema) when the CI runner class
+// changes. The ratio checks compare two benchmarks from the same run and
+// are machine-independent; they are the stronger guard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Report is the JSON schema shared by baselines and current runs.
+type Report struct {
+	// Note is free-form provenance (machine, date, command).
+	Note string `json:"note,omitempty"`
+	// Tolerance is the allowed relative regression for tracked
+	// benchmarks (0.30 = 30%). Only read from baselines; a -tolerance
+	// flag or BENCHGUARD_TOLERANCE env var overrides it.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Benchmarks maps benchmark name (without -cpu suffix) to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Ratios are required speedups between two benchmarks of the same
+	// run. Only read from baselines.
+	Ratios []RatioCheck `json:"ratios,omitempty"`
+}
+
+// RatioCheck requires Slow/Fast ≥ Min in the current run — e.g. the
+// naive oracle must stay at least 5× slower than the grid oracle.
+type RatioCheck struct {
+	Slow string  `json:"slow"`
+	Fast string  `json:"fast"`
+	Min  float64 `json:"min"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkLargeN/uniform-5000/oracle/grid-8   3   22612579 ns/op   ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	var (
+		parse     = flag.String("parse", "", "parse `go test -bench` output from this file ('-' for stdin)")
+		out       = flag.String("out", "", "write the parsed report to this file (default stdout)")
+		note      = flag.String("note", "", "provenance note to embed in the parsed report")
+		check     = flag.Bool("check", false, "compare -current against -baseline")
+		baseline  = flag.String("baseline", "", "committed baseline report")
+		current   = flag.String("current", "", "report from the current run")
+		tolerance = flag.Float64("tolerance", 0, "override the baseline's regression tolerance (0.30 = 30%)")
+	)
+	flag.Parse()
+	switch {
+	case *parse != "":
+		if err := runParse(*parse, *out, *note); err != nil {
+			fatal(err)
+		}
+	case *check:
+		if err := runCheck(*baseline, *current, *tolerance); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+func runParse(in, out, note string) error {
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		if f, err = os.Open(in); err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	rep := Report{Note: note, Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		mm := benchLine.FindStringSubmatch(sc.Text())
+		if mm == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(mm[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %v", sc.Text(), err)
+		}
+		rep.Benchmarks[mm[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", in)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+func runCheck(basePath, curPath string, tolOverride float64) error {
+	if basePath == "" || curPath == "" {
+		return fmt.Errorf("-check needs both -baseline and -current")
+	}
+	base, err := readReport(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		return err
+	}
+	tol := base.Tolerance
+	if env := os.Getenv("BENCHGUARD_TOLERANCE"); env != "" {
+		if v, err := strconv.ParseFloat(env, 64); err == nil {
+			tol = v
+		}
+	}
+	if tolOverride > 0 {
+		tol = tolOverride
+	}
+	if tol <= 0 {
+		tol = 0.30
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := cur.Benchmarks[name]
+		switch {
+		case !ok:
+			fmt.Printf("MISSING  %-55s tracked benchmark not in current run\n", name)
+			failures++
+		case got > want*(1+tol):
+			fmt.Printf("REGRESS  %-55s %12.0f ns/op -> %12.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+				name, want, got, 100*(got/want-1), 100*tol)
+			failures++
+		default:
+			fmt.Printf("ok       %-55s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",
+				name, want, got, 100*(got/want-1))
+		}
+	}
+	for _, rc := range base.Ratios {
+		slow, okS := cur.Benchmarks[rc.Slow]
+		fast, okF := cur.Benchmarks[rc.Fast]
+		switch {
+		case !okS || !okF:
+			fmt.Printf("MISSING  ratio %s / %s: benchmark absent from current run\n", rc.Slow, rc.Fast)
+			failures++
+		case fast <= 0 || slow/fast < rc.Min:
+			fmt.Printf("RATIO    %s / %s = %.1fx, need >= %.1fx\n", rc.Slow, rc.Fast, slow/fast, rc.Min)
+			failures++
+		default:
+			fmt.Printf("ok       ratio %s / %s = %.1fx (>= %.1fx)\n", rc.Slow, rc.Fast, slow/fast, rc.Min)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark check(s) failed", failures)
+	}
+	fmt.Printf("all %d tracked benchmarks and %d ratios within tolerance\n", len(names), len(base.Ratios))
+	return nil
+}

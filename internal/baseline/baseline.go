@@ -9,6 +9,13 @@
 // Unlike CBTC, every baseline here requires exact position information —
 // reproducing the paper's argument that CBTC achieves comparable
 // topologies from directional measurements alone.
+//
+// Every construction is grid-accelerated: an Index built once over the
+// placement answers the "nodes within r of p" queries that dominate both
+// the pair enumeration and the witness scans, so the baselines scale the
+// same way the CBTC oracle does. The package-level functions build a
+// throwaway Index; callers constructing several baselines over one
+// placement (CompareBaselines) should build the Index once and reuse it.
 package baseline
 
 import (
@@ -17,28 +24,75 @@ import (
 
 	"cbtc/internal/geom"
 	"cbtc/internal/graph"
+	"cbtc/internal/spatial"
 )
+
+// Index is a reusable spatial accelerator for one placement and radius:
+// every baseline construction over the same placement shares the one
+// grid. It is safe for concurrent use — all methods are read-only over
+// the underlying grid.
+type Index struct {
+	pos  []geom.Point
+	r    float64
+	grid *spatial.Grid
+}
+
+// NewIndex builds the shared accelerator for the placement with
+// maximum-power radius r.
+func NewIndex(pos []geom.Point, r float64) *Index {
+	return &Index{pos: pos, r: r, grid: spatial.New(pos, r)}
+}
+
+// within returns the ids within radius rad of p in ascending order — a
+// tight superset query (widened by spatial.QuerySlack) whose results the
+// callers re-check with their construction's exact predicate, so edge
+// sets are identical to a naive full scan.
+func (ix *Index) within(p geom.Point, rad float64) []int {
+	return ix.grid.Within(p, rad*(1+spatial.QuerySlack))
+}
+
+// MaxPowerGraph returns G_R over the index's placement — every pair at
+// distance ≤ r — for callers that want the ground truth from the same
+// shared accelerator.
+func (ix *Index) MaxPowerGraph() *graph.Graph {
+	n := len(ix.pos)
+	g := graph.New(n)
+	r2 := ix.r * ix.r
+	for u := 0; u < n; u++ {
+		for _, v := range ix.within(ix.pos[u], ix.r) {
+			if v > u && ix.pos[u].Dist2(ix.pos[v]) <= r2*(1+1e-12) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
 
 // RNG returns the relative neighborhood graph over G_R: the edge {u,v}
 // (d(u,v) ≤ r) survives iff no witness w is strictly closer to both
 // endpoints than they are to each other. The RNG contains the Euclidean
-// MST of every component, so it preserves G_R's connectivity.
-func RNG(pos []geom.Point, r float64) *graph.Graph {
-	n := len(pos)
+// MST of every component, so it preserves G_R's connectivity. Witnesses
+// for {u,v} are strictly within d(u,v) of u, so the witness scan is a
+// radius-d(u,v) query instead of a full placement pass.
+func (ix *Index) RNG() *graph.Graph {
+	n := len(ix.pos)
 	g := graph.New(n)
-	r2 := r * r
+	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			d2 := pos[u].Dist2(pos[v])
+		for _, v := range ix.within(ix.pos[u], ix.r) {
+			if v <= u {
+				continue
+			}
+			d2 := ix.pos[u].Dist2(ix.pos[v])
 			if d2 > r2*(1+1e-12) {
 				continue
 			}
 			witness := false
-			for w := 0; w < n; w++ {
+			for _, w := range ix.within(ix.pos[u], math.Sqrt(d2)) {
 				if w == u || w == v {
 					continue
 				}
-				if pos[w].Dist2(pos[u]) < d2 && pos[w].Dist2(pos[v]) < d2 {
+				if ix.pos[w].Dist2(ix.pos[u]) < d2 && ix.pos[w].Dist2(ix.pos[v]) < d2 {
 					witness = true
 					break
 				}
@@ -53,25 +107,29 @@ func RNG(pos []geom.Point, r float64) *graph.Graph {
 
 // Gabriel returns the Gabriel graph over G_R: the edge {u,v} survives
 // iff no other node lies strictly inside the circle having uv as its
-// diameter. RNG ⊆ Gabriel ⊆ G_R.
-func Gabriel(pos []geom.Point, r float64) *graph.Graph {
-	n := len(pos)
+// diameter. RNG ⊆ Gabriel ⊆ G_R. The blocking circle has radius
+// d(u,v)/2, so the witness scan is a radius query around the midpoint.
+func (ix *Index) Gabriel() *graph.Graph {
+	n := len(ix.pos)
 	g := graph.New(n)
-	r2 := r * r
+	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			d2 := pos[u].Dist2(pos[v])
+		for _, v := range ix.within(ix.pos[u], ix.r) {
+			if v <= u {
+				continue
+			}
+			d2 := ix.pos[u].Dist2(ix.pos[v])
 			if d2 > r2*(1+1e-12) {
 				continue
 			}
-			center := pos[u].Midpoint(pos[v])
+			center := ix.pos[u].Midpoint(ix.pos[v])
 			rad2 := d2 / 4
 			inside := false
-			for w := 0; w < n; w++ {
+			for _, w := range ix.within(center, math.Sqrt(rad2)) {
 				if w == u || w == v {
 					continue
 				}
-				if pos[w].Dist2(center) < rad2 {
+				if ix.pos[w].Dist2(center) < rad2 {
 					inside = true
 					break
 				}
@@ -89,14 +147,14 @@ func Gabriel(pos []geom.Point, r float64) *graph.Graph {
 // nearest in-range neighbor (ties broken by index). For k ≥ 6 (sector
 // angle ≤ π/3) the symmetric closure preserves G_R's connectivity — the
 // positional analogue of CBTC's cone condition.
-func Yao(pos []geom.Point, r float64, k int) (*graph.Digraph, error) {
+func (ix *Index) Yao(k int) (*graph.Digraph, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("baseline: Yao needs k ≥ 1 sectors, got %d", k)
 	}
-	n := len(pos)
+	n := len(ix.pos)
 	d := graph.NewDigraph(n)
 	sector := geom.TwoPi / float64(k)
-	r2 := r * r
+	r2 := ix.r * ix.r
 	best := make([]int, k)
 	bestD2 := make([]float64, k)
 	for u := 0; u < n; u++ {
@@ -104,15 +162,15 @@ func Yao(pos []geom.Point, r float64, k int) (*graph.Digraph, error) {
 			best[s] = -1
 			bestD2[s] = math.Inf(1)
 		}
-		for v := 0; v < n; v++ {
+		for _, v := range ix.within(ix.pos[u], ix.r) {
 			if v == u {
 				continue
 			}
-			d2 := pos[u].Dist2(pos[v])
+			d2 := ix.pos[u].Dist2(ix.pos[v])
 			if d2 > r2*(1+1e-12) {
 				continue
 			}
-			s := int(pos[u].Bearing(pos[v]) / sector)
+			s := int(ix.pos[u].Bearing(ix.pos[v]) / sector)
 			if s >= k { // bearing can round to exactly 2π
 				s = k - 1
 			}
@@ -131,8 +189,8 @@ func Yao(pos []geom.Point, r float64, k int) (*graph.Digraph, error) {
 }
 
 // YaoSymmetric returns the symmetric closure of the Yao digraph.
-func YaoSymmetric(pos []geom.Point, r float64, k int) (*graph.Graph, error) {
-	d, err := Yao(pos, r, k)
+func (ix *Index) YaoSymmetric(k int) (*graph.Graph, error) {
+	d, err := ix.Yao(k)
 	if err != nil {
 		return nil, err
 	}
@@ -145,29 +203,33 @@ func YaoSymmetric(pos []geom.Point, r float64, k int) (*graph.Graph, error) {
 // intersection of the two disks of radius β·d(u,v)/2 centered at the
 // points (1-β/2)·u + (β/2)·v and (β/2)·u + (1-β/2)·v. β = 1 is the
 // Gabriel graph; β = 2 is the relative neighborhood graph; the family
-// is edge-monotone decreasing in β.
-func BetaSkeleton(pos []geom.Point, r, beta float64) (*graph.Graph, error) {
+// is edge-monotone decreasing in β. Lune members lie within the first
+// disk, so one radius query around its center bounds the witness scan.
+func (ix *Index) BetaSkeleton(beta float64) (*graph.Graph, error) {
 	if beta < 1 {
 		return nil, fmt.Errorf("baseline: lune-based skeleton needs β ≥ 1, got %v", beta)
 	}
-	n := len(pos)
+	n := len(ix.pos)
 	g := graph.New(n)
-	r2 := r * r
+	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			d2 := pos[u].Dist2(pos[v])
+		for _, v := range ix.within(ix.pos[u], ix.r) {
+			if v <= u {
+				continue
+			}
+			d2 := ix.pos[u].Dist2(ix.pos[v])
 			if d2 > r2*(1+1e-12) {
 				continue
 			}
 			lRad := beta * math.Sqrt(d2) / 2
-			c1 := pos[u].Scale(1 - beta/2).Add(pos[v].Scale(beta / 2))
-			c2 := pos[u].Scale(beta / 2).Add(pos[v].Scale(1 - beta/2))
+			c1 := ix.pos[u].Scale(1 - beta/2).Add(ix.pos[v].Scale(beta / 2))
+			c2 := ix.pos[u].Scale(beta / 2).Add(ix.pos[v].Scale(1 - beta/2))
 			inside := false
-			for w := 0; w < n; w++ {
+			for _, w := range ix.within(c1, lRad) {
 				if w == u || w == v {
 					continue
 				}
-				if pos[w].Dist(c1) < lRad && pos[w].Dist(c2) < lRad {
+				if ix.pos[w].Dist(c1) < lRad && ix.pos[w].Dist(c2) < lRad {
 					inside = true
 					break
 				}
@@ -186,30 +248,57 @@ func BetaSkeleton(pos []geom.Point, r, beta float64) (*graph.Graph, error) {
 // is its longest incident edge in the Euclidean minimum spanning forest
 // of G_R; the returned graph contains every pair mutually within their
 // assigned radii (which always includes the forest itself).
-func MinMaxRadius(pos []geom.Point, r float64) (*graph.Graph, []float64) {
-	n := len(pos)
-	gr := graph.New(n)
-	r2 := r * r
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if pos[u].Dist2(pos[v]) <= r2*(1+1e-12) {
-				gr.AddEdge(u, v)
-			}
-		}
-	}
-	mst := graph.MST(gr, graph.EuclideanWeight(pos))
+func (ix *Index) MinMaxRadius() (*graph.Graph, []float64) {
+	n := len(ix.pos)
+	gr := ix.MaxPowerGraph()
+	mst := graph.MST(gr, graph.EuclideanWeight(ix.pos))
 	radii := make([]float64, n)
 	for u := 0; u < n; u++ {
-		radii[u] = graph.NodeRadius(mst, pos, u)
+		radii[u] = graph.NodeRadius(mst, ix.pos, u)
 	}
 	out := graph.New(n)
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			d := pos[u].Dist(pos[v])
+		ru := radii[u] * (1 + 1e-12)
+		for _, v := range ix.within(ix.pos[u], ru) {
+			if v <= u {
+				continue
+			}
+			d := ix.pos[u].Dist(ix.pos[v])
 			if d <= radii[u]*(1+1e-12) && d <= radii[v]*(1+1e-12) {
 				out.AddEdge(u, v)
 			}
 		}
 	}
 	return out, radii
+}
+
+// RNG builds the relative neighborhood graph with a throwaway Index.
+func RNG(pos []geom.Point, r float64) *graph.Graph {
+	return NewIndex(pos, r).RNG()
+}
+
+// Gabriel builds the Gabriel graph with a throwaway Index.
+func Gabriel(pos []geom.Point, r float64) *graph.Graph {
+	return NewIndex(pos, r).Gabriel()
+}
+
+// Yao builds the Yao digraph with a throwaway Index.
+func Yao(pos []geom.Point, r float64, k int) (*graph.Digraph, error) {
+	return NewIndex(pos, r).Yao(k)
+}
+
+// YaoSymmetric builds the symmetric Yao graph with a throwaway Index.
+func YaoSymmetric(pos []geom.Point, r float64, k int) (*graph.Graph, error) {
+	return NewIndex(pos, r).YaoSymmetric(k)
+}
+
+// BetaSkeleton builds the β-skeleton with a throwaway Index.
+func BetaSkeleton(pos []geom.Point, r, beta float64) (*graph.Graph, error) {
+	return NewIndex(pos, r).BetaSkeleton(beta)
+}
+
+// MinMaxRadius builds the min-max-radius assignment with a throwaway
+// Index.
+func MinMaxRadius(pos []geom.Point, r float64) (*graph.Graph, []float64) {
+	return NewIndex(pos, r).MinMaxRadius()
 }

@@ -2,12 +2,29 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"cbtc/internal/geom"
 	"cbtc/internal/graph"
 	"cbtc/internal/radio"
+	"cbtc/internal/spatial"
 )
+
+// Index is the candidate provider the oracle's hot paths query instead
+// of scanning the whole placement: Within(p, r) must return every node id
+// whose position lies within distance r of p, in ascending id order.
+// *spatial.Grid satisfies it. A nil Index means a full placement scan —
+// the naive reference path the equivalence tests compare against.
+type Index interface {
+	Within(p geom.Point, r float64) []int
+}
+
+// unorderedIndex is the optional fast path an Index can provide when the
+// caller imposes its own total order on the candidates (as the oracle's
+// (dist, id) sort does), making the index's ascending-id sort redundant.
+type unorderedIndex interface {
+	AppendWithinUnordered(dst []int, p geom.Point, r float64) []int
+}
 
 // distTieTol is the relative tolerance under which two candidate
 // distances are treated as equal. Equidistant nodes become reachable at
@@ -34,10 +51,28 @@ const ctxCheckStride = 16
 
 // RunContext is Run with cooperative cancellation: it polls ctx between
 // node computations and returns ctx.Err() if the context ends before the
-// execution completes.
+// execution completes. A uniform grid with cell size R is built once over
+// the placement and shared by every per-node candidate gather, making the
+// oracle Θ(n·k) for k in-range neighbors instead of Θ(n²).
 func RunContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+	return runContext(ctx, pos, m, alpha, true)
+}
+
+// RunNaive is RunContext without the spatial index: every candidate
+// gather scans the full placement. It is the reference implementation the
+// naive-vs-grid equivalence tests and benchmarks compare against; both
+// paths produce identical Executions.
+func RunNaive(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+	return runContext(ctx, pos, m, alpha, false)
+}
+
+func runContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64, indexed bool) (*Execution, error) {
 	if err := validateInput(pos, m, alpha); err != nil {
 		return nil, err
+	}
+	var idx Index
+	if indexed {
+		idx = spatial.New(pos, m.MaxRadius)
 	}
 	exec := &Execution{
 		Alpha: alpha,
@@ -45,34 +80,54 @@ func RunContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha floa
 		Pos:   append([]geom.Point(nil), pos...),
 		Nodes: make([]NodeResult, len(pos)),
 	}
+	var scr gatherScratch
 	for u := range pos {
 		if u%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		exec.Nodes[u] = RunNode(pos, nil, m, alpha, u)
+		exec.Nodes[u] = runNode(pos, nil, m, alpha, u, idx, &scr)
 	}
 	return exec, nil
 }
 
+// gatherScratch holds the per-node gather buffers RunContext reuses
+// across nodes; nothing stored in it outlives a single runNode call.
+type gatherScratch struct {
+	ids   []int
+	cands []candidate
+	dirs  []float64
+}
+
 // candidate is a node reachable at maximum power, ordered by distance.
+// Its bearing is computed lazily at admission time: candidates past the
+// stopping prefix never need the (comparatively expensive) atan2.
 type candidate struct {
 	id   int
 	dist float64
-	dir  float64
 }
 
 // RunNode computes N_α(u) for a single node under the minimal-power
 // semantics, considering only nodes v with alive[v] as candidates (a nil
 // mask means every node is alive). The per-node form is what incremental
 // §4 reconfiguration uses: after a join/leave/move, only the nodes whose
-// candidate set changed need recomputing.
-func RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int) NodeResult {
-	cands := reachableCandidates(pos, alive, m, u)
+// candidate set changed need recomputing. The candidate provider idx
+// restricts the gather to nodes within R of u; nil falls back to a full
+// placement scan. Both paths admit exactly the same candidates.
+func RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index) NodeResult {
+	return runNode(pos, alive, m, alpha, u, idx, &gatherScratch{})
+}
+
+func runNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index, scr *gatherScratch) NodeResult {
+	cands := reachableCandidates(pos, alive, m, u, idx, scr)
 
 	neighbors := make([]Discovery, 0, len(cands))
-	dirs := make([]float64, 0, len(cands))
+	// Directions are kept normalized and sorted incrementally, so the
+	// per-group gap test is a linear scan instead of a fresh sort — the
+	// arithmetic matches geom.HasGap bit-for-bit.
+	dirs := scr.dirs[:0]
+	defer func() { scr.dirs = dirs[:0] }()
 
 	i := 0
 	for i < len(cands) {
@@ -86,15 +141,16 @@ func RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int
 		groupPower := m.PowerFor(groupDist)
 		for ; i < groupEnd; i++ {
 			c := cands[i]
+			dir := pos[u].Bearing(pos[c.id])
 			neighbors = append(neighbors, Discovery{
 				ID:    c.id,
 				Dist:  c.dist,
-				Dir:   c.dir,
+				Dir:   dir,
 				Power: groupPower,
 			})
-			dirs = append(dirs, c.dir)
+			dirs = geom.InsertSorted(dirs, dir)
 		}
-		if !geom.HasGap(dirs, alpha) {
+		if !geom.HasGapSorted(dirs, alpha) {
 			return NodeResult{
 				Neighbors: neighbors,
 				GrowPower: groupPower,
@@ -113,23 +169,51 @@ func RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int
 
 // reachableCandidates returns the live nodes within communication range
 // R of u, sorted by distance (ties broken by index for determinism).
-func reachableCandidates(pos []geom.Point, alive []bool, m radio.Model, u int) []candidate {
-	r := m.MaxRadius
-	out := make([]candidate, 0, 16)
-	for v, pv := range pos {
+// With an index the gather only touches nodes near u: the query radius is
+// widened by spatial.QuerySlack and the naive path's exact hypot-based
+// predicate re-applied, so both paths admit identical candidate sets.
+func reachableCandidates(pos []geom.Point, alive []bool, m radio.Model, u int, idx Index, scr *gatherScratch) []candidate {
+	rr := m.MaxRadius * (1 + distTieTol)
+	out := scr.cands[:0]
+	admit := func(v int, pv geom.Point) {
 		if v == u || (alive != nil && !alive[v]) {
-			continue
+			return
 		}
 		d := pos[u].Dist(pv)
-		if d <= r*(1+distTieTol) {
-			out = append(out, candidate{id: v, dist: d, dir: pos[u].Bearing(pv)})
+		if d <= rr {
+			out = append(out, candidate{id: v, dist: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].dist != out[j].dist {
-			return out[i].dist < out[j].dist
+	switch {
+	case idx == nil:
+		for v, pv := range pos {
+			admit(v, pv)
 		}
-		return out[i].id < out[j].id
+	default:
+		// The (dist, id) sort below imposes its own total order, so the
+		// query can skip the index's ascending-id pass when available.
+		qr := rr * (1 + spatial.QuerySlack)
+		if g, ok := idx.(unorderedIndex); ok {
+			scr.ids = g.AppendWithinUnordered(scr.ids[:0], pos[u], qr)
+		} else {
+			scr.ids = append(scr.ids[:0], idx.Within(pos[u], qr)...)
+		}
+		for _, v := range scr.ids {
+			admit(v, pos[v])
+		}
+	}
+	scr.cands = out[:0]
+	// (dist, id) is a strict total order — ids are distinct — so any
+	// comparison sort yields the same unique sequence; SortFunc avoids
+	// sort.Slice's reflection overhead on this hot path.
+	slices.SortFunc(out, func(a, b candidate) int {
+		if a.dist != b.dist {
+			if a.dist < b.dist {
+				return -1
+			}
+			return 1
+		}
+		return a.id - b.id
 	})
 	return out
 }
@@ -147,13 +231,34 @@ func sameDist(a, b float64) bool {
 }
 
 // MaxPowerGraph returns G_R: the graph induced by every node transmitting
-// with maximum power, i.e. edges between all pairs at distance ≤ R.
+// with maximum power, i.e. edges between all pairs at distance ≤ R. It
+// builds a throwaway grid over the placement, replacing the quadratic
+// all-pairs scan with per-node radius queries; MaxPowerGraphIndexed
+// accepts a caller-maintained index instead.
 func MaxPowerGraph(pos []geom.Point, m radio.Model) *graph.Graph {
+	return MaxPowerGraphIndexed(pos, m, spatial.New(pos, m.MaxRadius))
+}
+
+// MaxPowerGraphIndexed is MaxPowerGraph over a caller-supplied candidate
+// index (nil falls back to the naive all-pairs scan). The edge set is
+// identical on both paths: the index pre-filters and the exact distance
+// predicate decides.
+func MaxPowerGraphIndexed(pos []geom.Point, m radio.Model, idx Index) *graph.Graph {
 	g := graph.New(len(pos))
-	r := m.MaxRadius
+	rr := m.MaxRadius * (1 + distTieTol)
+	if idx == nil {
+		for u := 0; u < len(pos); u++ {
+			for v := u + 1; v < len(pos); v++ {
+				if pos[u].Dist(pos[v]) <= rr {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		return g
+	}
 	for u := 0; u < len(pos); u++ {
-		for v := u + 1; v < len(pos); v++ {
-			if pos[u].Dist(pos[v]) <= r*(1+distTieTol) {
+		for _, v := range idx.Within(pos[u], rr*(1+spatial.QuerySlack)) {
+			if v > u && pos[u].Dist(pos[v]) <= rr {
 				g.AddEdge(u, v)
 			}
 		}

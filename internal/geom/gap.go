@@ -38,3 +38,39 @@ func MaxGap(dirs []float64) float64 {
 func HasGap(dirs []float64, alpha float64) bool {
 	return MaxGap(dirs) > alpha+Eps
 }
+
+// InsertSorted inserts Normalize(dir) into the ascending slice sorted,
+// returning the extended slice. It is the incremental form of MaxGap's
+// normalize-then-sort preamble: growing a direction set one insertion at
+// a time costs O(k) instead of re-sorting O(k log k) per query, which is
+// what the oracle's growing phase does after every admitted distance
+// group.
+func InsertSorted(sorted []float64, dir float64) []float64 {
+	d := Normalize(dir)
+	i := sort.SearchFloat64s(sorted, d)
+	sorted = append(sorted, 0)
+	copy(sorted[i+1:], sorted[i:])
+	sorted[i] = d
+	return sorted
+}
+
+// MaxGapSorted is MaxGap over a slice already normalized and ascending
+// (as maintained by InsertSorted). It performs exactly the arithmetic of
+// MaxGap's final pass, so the two agree bit-for-bit on the same set.
+func MaxGapSorted(sorted []float64) float64 {
+	if len(sorted) < 2 {
+		return TwoPi
+	}
+	maxGap := TwoPi - sorted[len(sorted)-1] + sorted[0] // wrap-around gap
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap
+}
+
+// HasGapSorted is HasGap over an InsertSorted-maintained direction set.
+func HasGapSorted(sorted []float64, alpha float64) bool {
+	return MaxGapSorted(sorted) > alpha+Eps
+}

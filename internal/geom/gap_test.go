@@ -121,3 +121,22 @@ func BenchmarkMaxGap(b *testing.B) {
 		MaxGap(dirs)
 	}
 }
+
+func TestInsertSortedMatchesMaxGap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(40)
+		dirs := make([]float64, n)
+		var sorted []float64
+		for i := range dirs {
+			dirs[i] = rng.Float64()*3*TwoPi - TwoPi // unnormalized on purpose
+			sorted = InsertSorted(sorted, dirs[i])
+			if got, want := MaxGapSorted(sorted), MaxGap(dirs[:i+1]); got != want {
+				t.Fatalf("trial %d size %d: MaxGapSorted = %v, MaxGap = %v", trial, i+1, got, want)
+			}
+		}
+	}
+	if MaxGapSorted(nil) != TwoPi || MaxGapSorted([]float64{1}) != TwoPi {
+		t.Fatal("degenerate direction sets must report a full-circle gap")
+	}
+}

@@ -38,6 +38,12 @@ type Options struct {
 	AoANoise float64
 	// Seed drives all randomness.
 	Seed uint64
+	// NaiveDelivery disables the spatial index and computes broadcast
+	// delivery sets by scanning every node, as the pre-index simulator
+	// did. It exists as the reference path for the naive-vs-grid
+	// equivalence tests and benchmarks; seeded runs produce byte-identical
+	// histories in both modes.
+	NaiveDelivery bool
 }
 
 // DefaultOptions returns a reliable low-latency configuration for the

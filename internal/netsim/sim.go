@@ -8,6 +8,7 @@ import (
 
 	"cbtc/internal/geom"
 	"cbtc/internal/radio"
+	"cbtc/internal/spatial"
 )
 
 // Process is the behavior installed on each node. The simulator calls
@@ -62,6 +63,9 @@ type Sim struct {
 	procs   []Process
 	crashed []bool
 
+	grid    *spatial.Grid // cell ≈ R; nil only in NaiveDelivery mode
+	scratch []int         // reusable Within result buffer
+
 	stats     Stats
 	energyTx  []float64
 	interrupt func() bool
@@ -110,14 +114,18 @@ func New(pos []geom.Point, opts Options) (*Sim, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Sim{
+	s := &Sim{
 		opts:     opts,
 		rng:      rand.New(rand.NewPCG(opts.Seed, 0x6a09e667f3bcc909)),
 		pos:      append([]geom.Point(nil), pos...),
 		procs:    make([]Process, len(pos)),
 		crashed:  make([]bool, len(pos)),
 		energyTx: make([]float64, len(pos)),
-	}, nil
+	}
+	if !opts.NaiveDelivery {
+		s.grid = spatial.New(s.pos, opts.Model.MaxRadius)
+	}
+	return s, nil
 }
 
 // Energy returns the cumulative transmission energy node id has spent:
@@ -187,6 +195,9 @@ func (s *Sim) Crashed(id int) bool {
 func (s *Sim) MoveNode(id int, to geom.Point) {
 	s.checkID(id)
 	s.pos[id] = to
+	if s.grid != nil {
+		s.grid.Move(id, to)
+	}
 }
 
 // AddNode introduces a new node at the given position while the
@@ -199,6 +210,9 @@ func (s *Sim) AddNode(at geom.Point) int {
 	s.procs = append(s.procs, nil)
 	s.crashed = append(s.crashed, false)
 	s.energyTx = append(s.energyTx, 0)
+	if s.grid != nil {
+		s.grid.Add(id, at)
+	}
 	return id
 }
 
@@ -261,36 +275,70 @@ func (s *Sim) checkID(id int) {
 	}
 }
 
-// transmit implements both broadcast and unicast: it delivers the
-// payload to every live node in `targets` reachable at txPower, applying
-// the unreliable-channel model.
+// transmit implements both broadcast and unicast, applying the
+// unreliable-channel model per receiver. Unicast (only ≥ 0) delivers
+// directly to the target after a single reachability check. Broadcast
+// queries the spatial index for the nodes within the transmission range
+// instead of scanning the whole placement; because the index returns
+// candidates in ascending id order — the order the naive scan visits
+// them — the per-receiver drop/dup/jitter PRNG draws happen in exactly
+// the same sequence and seeded histories are byte-identical.
 func (s *Sim) transmit(from int, txPower float64, payload interface{}, only int) {
 	if s.crashed[from] {
 		return
 	}
 	s.stats.Sent++
 	s.energyTx[from] += txPower
-	src := s.pos[from]
-	for to := range s.pos {
+	if s.grid == nil {
+		// NaiveDelivery: the pre-index reference implementation, including
+		// its linear unicast scan.
+		for to := range s.pos {
+			if to == from || s.crashed[to] || s.procs[to] == nil {
+				continue
+			}
+			if only >= 0 && to != only {
+				continue
+			}
+			s.maybeDeliver(from, to, txPower, payload)
+		}
+		return
+	}
+	if only >= 0 {
+		if only != from && only < len(s.pos) && !s.crashed[only] && s.procs[only] != nil {
+			s.maybeDeliver(from, only, txPower, payload)
+		}
+		return
+	}
+	// Model.Reaches carries a 1e-12-scale relative power tolerance, so the
+	// query radius is widened by QuerySlack and the exact predicate
+	// re-applied in maybeDeliver — the candidate set is a tight superset.
+	reach := s.opts.Model.RangeFor(txPower) * (1 + spatial.QuerySlack)
+	s.scratch = s.grid.AppendWithin(s.scratch[:0], s.pos[from], reach)
+	for _, to := range s.scratch {
 		if to == from || s.crashed[to] || s.procs[to] == nil {
 			continue
 		}
-		if only >= 0 && to != only {
-			continue
-		}
-		d := src.Dist(s.pos[to])
-		if !s.opts.Model.Reaches(txPower, d) {
-			continue
-		}
-		if s.opts.DropProb > 0 && s.rng.Float64() < s.opts.DropProb {
-			s.stats.Dropped++
-			continue
-		}
+		s.maybeDeliver(from, to, txPower, payload)
+	}
+}
+
+// maybeDeliver applies the physical and unreliable-channel model for one
+// receiver: the exact reachability predicate, then the drop and
+// duplication draws. The PRNG is only consulted for receivers that pass
+// the reachability check, preserving the naive scan's draw sequence.
+func (s *Sim) maybeDeliver(from, to int, txPower float64, payload interface{}) {
+	d := s.pos[from].Dist(s.pos[to])
+	if !s.opts.Model.Reaches(txPower, d) {
+		return
+	}
+	if s.opts.DropProb > 0 && s.rng.Float64() < s.opts.DropProb {
+		s.stats.Dropped++
+		return
+	}
+	s.deliverOnce(from, to, txPower, d, payload)
+	if s.opts.DupProb > 0 && s.rng.Float64() < s.opts.DupProb {
+		s.stats.Duplicated++
 		s.deliverOnce(from, to, txPower, d, payload)
-		if s.opts.DupProb > 0 && s.rng.Float64() < s.opts.DupProb {
-			s.stats.Duplicated++
-			s.deliverOnce(from, to, txPower, d, payload)
-		}
 	}
 }
 

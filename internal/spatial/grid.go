@@ -1,0 +1,277 @@
+// Package spatial provides a uniform-grid point index for the radius
+// queries the whole system is built on. The paper's protocol is local by
+// design — only nodes within the maximum transmission radius R ever
+// interact — so every hot path (radio delivery, the §2 oracle's candidate
+// gather, §4 session repair, the position-based baselines) reduces to
+// "which nodes lie within r of p?". The grid answers that in O(k) for k
+// results instead of the O(n) placement scan, turning Θ(n²) pipelines
+// into Θ(n·k) for bounded-density placements.
+//
+// Determinism contract: Within returns node IDs in ascending order, the
+// same order a naive `for v := range pos` scan visits them. Callers that
+// draw from a seeded PRNG per candidate (the simulator's drop/dup/jitter
+// draws) therefore consume randomness in exactly the same sequence as the
+// naive scan, so seeded results are byte-identical.
+//
+// Exactness contract: Within(p, r) returns every indexed id whose
+// position q satisfies Dist2(p, q) ≤ r². Callers that must reproduce a
+// legacy floating-point predicate exactly (e.g. `Dist(p, q) ≤ r` computed
+// via math.Hypot) should query with a slightly widened radius and re-apply
+// their own predicate to the returned superset; the widening only costs a
+// few extra candidates.
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cbtc/internal/geom"
+)
+
+// QuerySlack is the relative widening callers apply to a query radius
+// when they re-check candidates with their own (hypot-based or
+// tolerance-carrying) predicate. It comfortably covers the 1e-12-scale
+// relative tolerances used throughout the system while keeping the
+// candidate superset tight.
+const QuerySlack = 1e-9
+
+// Grid is a uniform-cell spatial index over node positions. Cell size is
+// chosen at construction — pass the dominant query radius (the radio
+// model's R) so a radius-R query touches at most 9 cells.
+//
+// A Grid is safe for concurrent readers (Within/AppendWithin/Position);
+// mutations (Add/Remove/Move/Rebuild) must not race with reads.
+type Grid struct {
+	cell  float64
+	pts   []geom.Point // position per id (last known, even if removed)
+	in    []bool       // in[id]: id is currently indexed
+	cells map[cellKey][]int
+	count int
+}
+
+// cellKey packs the two cell coordinates into one int64 so lookups use
+// the runtime's fast integer-key map path. Coordinates beyond ±2³¹ wrap
+// and may alias another cell's bucket; the exact distance filter applied
+// to every candidate keeps results correct regardless — aliasing only
+// costs a few extra distance checks on absurdly distant placements.
+type cellKey int64
+
+func packKey(cx, cy int64) cellKey {
+	return cellKey(int64(uint64(uint32(cx))<<32 | uint64(uint32(cy))))
+}
+
+// New builds a grid over the placement with the given cell size. Every
+// finite position is indexed; non-finite positions (which no distance
+// predicate can match) are stored but never returned. It panics on a
+// non-positive or non-finite cell size: the cell comes from a validated
+// radio model and an invalid value is a programming error.
+func New(pts []geom.Point, cell float64) *Grid {
+	if !(cell > 0) || math.IsInf(cell, 0) {
+		panic(fmt.Sprintf("spatial: invalid cell size %v", cell))
+	}
+	g := &Grid{cell: cell}
+	g.Rebuild(pts)
+	return g
+}
+
+// Rebuild re-indexes the grid over a new placement, discarding all
+// previous state but keeping the cell size.
+func (g *Grid) Rebuild(pts []geom.Point) {
+	g.pts = append(g.pts[:0], pts...)
+	g.in = make([]bool, len(pts))
+	g.cells = make(map[cellKey][]int, len(pts))
+	g.count = 0
+	for id, p := range g.pts {
+		if finite(p) {
+			g.insert(id, p)
+		}
+	}
+}
+
+// Len returns the number of currently indexed points.
+func (g *Grid) Len() int { return g.count }
+
+// Cap returns the size of the id space (indexed or not).
+func (g *Grid) Cap() int { return len(g.pts) }
+
+// Has reports whether id is currently indexed.
+func (g *Grid) Has(id int) bool { return id >= 0 && id < len(g.in) && g.in[id] }
+
+// Position returns the last position recorded for id.
+func (g *Grid) Position(id int) geom.Point { return g.pts[id] }
+
+// Add indexes id at p. The id must either extend the id space by exactly
+// one (id == Cap(), the append case used by Sim.AddNode and Session.Join)
+// or name an existing un-indexed slot (a re-join). Adding an id that is
+// already indexed panics.
+func (g *Grid) Add(id int, p geom.Point) {
+	switch {
+	case id == len(g.pts):
+		g.pts = append(g.pts, p)
+		g.in = append(g.in, false)
+	case id >= 0 && id < len(g.pts):
+		if g.in[id] {
+			panic(fmt.Sprintf("spatial: node %d already indexed", id))
+		}
+		g.pts[id] = p
+	default:
+		panic(fmt.Sprintf("spatial: Add id %d out of range [0, %d]", id, len(g.pts)))
+	}
+	if finite(p) {
+		g.insert(id, p)
+	}
+}
+
+// Remove un-indexes id (a departed node). Removing an id that is not
+// indexed is a no-op, matching the idempotence of §4 leave events.
+func (g *Grid) Remove(id int) {
+	if id < 0 || id >= len(g.in) || !g.in[id] {
+		return
+	}
+	g.remove(id, g.pts[id])
+}
+
+// Move relocates id to p, updating its cell membership incrementally.
+func (g *Grid) Move(id int, p geom.Point) {
+	if id < 0 || id >= len(g.pts) {
+		panic(fmt.Sprintf("spatial: Move id %d out of range [0, %d)", id, len(g.pts)))
+	}
+	old := g.pts[id]
+	if g.in[id] {
+		if finite(p) && g.key(old) == g.key(p) {
+			g.pts[id] = p
+			return
+		}
+		g.remove(id, old)
+	}
+	g.pts[id] = p
+	if finite(p) {
+		g.insert(id, p)
+	}
+}
+
+// Within returns the ids of all indexed points q with Dist2(p, q) ≤ r²,
+// in ascending id order. A zero radius is a coincident-point lookup
+// (Dist2 ≤ 0 admits exact matches, like the naive scan); a negative or
+// NaN radius or a non-finite query point yields no results.
+func (g *Grid) Within(p geom.Point, r float64) []int {
+	return g.AppendWithin(nil, p, r)
+}
+
+// AppendWithin is Within with caller-supplied result storage, for
+// allocation-free queries on hot paths. Results are appended to dst and
+// the extended slice returned; the appended ids are in ascending order
+// (dst's existing contents are untouched).
+func (g *Grid) AppendWithin(dst []int, p geom.Point, r float64) []int {
+	start := len(dst)
+	dst = g.AppendWithinUnordered(dst, p, r)
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// AppendWithinUnordered is AppendWithin without the final ascending-id
+// sort: ids arrive grouped by cell in unspecified cell order. It exists
+// for callers that impose their own total order on the result anyway
+// (the oracle re-sorts candidates by distance), where the id sort would
+// be pure overhead. Callers relying on the naive-scan draw order must
+// use Within/AppendWithin instead.
+func (g *Grid) AppendWithinUnordered(dst []int, p geom.Point, r float64) []int {
+	if !(r >= 0) || !finite(p) || g.count == 0 {
+		return dst
+	}
+	r2 := r * r
+	if math.IsInf(r, 1) {
+		// Everything matches; avoid the implementation-defined ±Inf → int
+		// cell-coordinate conversion entirely.
+		for _, ids := range g.cells {
+			dst = g.filterCell(dst, ids, p, r2)
+		}
+		return dst
+	}
+	cxMin := g.coord(p.X - r)
+	cxMax := g.coord(p.X + r)
+	cyMin := g.coord(p.Y - r)
+	cyMax := g.coord(p.Y + r)
+
+	// For huge radii the cell range can dwarf the number of occupied
+	// cells; iterating the map is then strictly cheaper. The exact
+	// distance filter makes both paths return the same set. The map-scan
+	// range test works modulo 2³² (matching packKey's truncation), so it
+	// never wrongly excludes a wrapped cell.
+	nx, ny := cxMax-cxMin+1, cyMax-cyMin+1
+	if nx <= 0 || ny <= 0 || nx > int64(len(g.cells))+1 || ny > int64(len(g.cells))+1 || nx*ny > int64(len(g.cells)) {
+		spanX, spanY := uint64(cxMax-cxMin), uint64(cyMax-cyMin)
+		wideX := nx <= 0 || spanX >= 1<<32
+		wideY := ny <= 0 || spanY >= 1<<32
+		for key, ids := range g.cells {
+			kx := uint32(uint64(key) >> 32)
+			ky := uint32(uint64(key))
+			if !wideX && kx-uint32(cxMin) > uint32(spanX) {
+				continue
+			}
+			if !wideY && ky-uint32(cyMin) > uint32(spanY) {
+				continue
+			}
+			dst = g.filterCell(dst, ids, p, r2)
+		}
+	} else {
+		for cx := cxMin; cx <= cxMax; cx++ {
+			for cy := cyMin; cy <= cyMax; cy++ {
+				if ids, ok := g.cells[packKey(cx, cy)]; ok {
+					dst = g.filterCell(dst, ids, p, r2)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func (g *Grid) filterCell(dst []int, ids []int, p geom.Point, r2 float64) []int {
+	for _, id := range ids {
+		if p.Dist2(g.pts[id]) <= r2 {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+func (g *Grid) coord(x float64) int64 {
+	return int64(math.Floor(x / g.cell))
+}
+
+func (g *Grid) key(p geom.Point) cellKey {
+	return packKey(g.coord(p.X), g.coord(p.Y))
+}
+
+func (g *Grid) insert(id int, p geom.Point) {
+	k := g.key(p)
+	ids := g.cells[k]
+	i := sort.SearchInts(ids, id)
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	g.cells[k] = ids
+	g.in[id] = true
+	g.count++
+}
+
+func (g *Grid) remove(id int, p geom.Point) {
+	k := g.key(p)
+	ids := g.cells[k]
+	i := sort.SearchInts(ids, id)
+	if i < len(ids) && ids[i] == id {
+		ids = append(ids[:i], ids[i+1:]...)
+		if len(ids) == 0 {
+			delete(g.cells, k)
+		} else {
+			g.cells[k] = ids
+		}
+	}
+	g.in[id] = false
+	g.count--
+}
+
+func finite(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsNaN(p.Y) && !math.IsInf(p.X, 0) && !math.IsInf(p.Y, 0)
+}

@@ -1,0 +1,214 @@
+package spatial
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"cbtc/internal/geom"
+)
+
+func naiveWithin(pts []geom.Point, in []bool, p geom.Point, r float64) []int {
+	out := []int{}
+	for v, q := range pts {
+		if in != nil && !in[v] {
+			continue
+		}
+		if p.Dist2(q) <= r*r {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomPts(rng *rand.Rand, n int, w, h float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*w-w/4, rng.Float64()*h-h/4)
+	}
+	return pts
+}
+
+func TestWithinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(200)
+		cell := 10 + rng.Float64()*200
+		pts := randomPts(rng, n, 1000, 1000)
+		g := New(pts, cell)
+		for q := 0; q < 20; q++ {
+			p := geom.Pt(rng.Float64()*1200-300, rng.Float64()*1200-300)
+			r := rng.Float64() * 400
+			got := g.Within(p, r)
+			want := naiveWithin(pts, nil, p, r)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d query %d: Within(%v, %v) = %v, want %v", trial, q, p, r, got, want)
+			}
+			if !sort.IntsAreSorted(got) {
+				t.Fatalf("Within result not ascending: %v", got)
+			}
+		}
+	}
+}
+
+func TestWithinExactBoundary(t *testing.T) {
+	// A point at distance exactly r must be included (≤, not <).
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(5.0000001, 0)}
+	g := New(pts, 5)
+	got := g.Within(geom.Pt(0, 0), 5)
+	if !equalInts(got, []int{0, 1}) {
+		t.Fatalf("boundary query = %v, want [0 1]", got)
+	}
+}
+
+func TestDynamicOpsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	pts := randomPts(rng, 60, 800, 800)
+	g := New(pts, 120)
+	in := make([]bool, len(pts))
+	for i := range in {
+		in[i] = true
+	}
+	cur := append([]geom.Point(nil), pts...)
+
+	check := func(step int) {
+		p := geom.Pt(rng.Float64()*800, rng.Float64()*800)
+		r := 50 + rng.Float64()*300
+		got := g.Within(p, r)
+		want := naiveWithin(cur, in, p, r)
+		if !equalInts(got, want) {
+			t.Fatalf("step %d: Within = %v, want %v", step, got, want)
+		}
+	}
+
+	for step := 0; step < 500; step++ {
+		switch op := rng.IntN(4); {
+		case op == 0: // join (append)
+			p := geom.Pt(rng.Float64()*800, rng.Float64()*800)
+			g.Add(len(cur), p)
+			cur = append(cur, p)
+			in = append(in, true)
+		case op == 1: // leave
+			id := rng.IntN(len(cur))
+			g.Remove(id)
+			in[id] = false
+		case op == 2: // move (possibly of a removed node's slot via re-add)
+			id := rng.IntN(len(cur))
+			p := geom.Pt(rng.Float64()*800, rng.Float64()*800)
+			if in[id] {
+				g.Move(id, p)
+				cur[id] = p
+			} else {
+				g.Add(id, p) // re-join on the departed slot
+				cur[id] = p
+				in[id] = true
+			}
+		default: // small in-cell move
+			id := rng.IntN(len(cur))
+			if in[id] {
+				p := geom.Pt(cur[id].X+rng.Float64()*2-1, cur[id].Y+rng.Float64()*2-1)
+				g.Move(id, p)
+				cur[id] = p
+			}
+		}
+		check(step)
+	}
+
+	live := 0
+	for _, ok := range in {
+		if ok {
+			live++
+		}
+	}
+	if g.Len() != live {
+		t.Fatalf("Len() = %d, want %d live", g.Len(), live)
+	}
+	if g.Cap() != len(cur) {
+		t.Fatalf("Cap() = %d, want %d", g.Cap(), len(cur))
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	g := New(randomPts(rand.New(rand.NewPCG(5, 6)), 30, 100, 100), 10)
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(50, 50)}
+	g.Rebuild(pts)
+	if g.Len() != 3 || g.Cap() != 3 {
+		t.Fatalf("after Rebuild: Len=%d Cap=%d, want 3/3", g.Len(), g.Cap())
+	}
+	if got := g.Within(geom.Pt(0, 0), 5); !equalInts(got, []int{0, 1}) {
+		t.Fatalf("post-rebuild query = %v, want [0 1]", got)
+	}
+}
+
+func TestNonFinitePositions(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(math.NaN(), 0), geom.Pt(math.Inf(1), 3)}
+	g := New(pts, 5)
+	if g.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1 (non-finite points unindexed)", g.Len())
+	}
+	if got := g.Within(geom.Pt(0, 0), 1e9); !equalInts(got, []int{0}) {
+		t.Fatalf("query = %v, want [0]", got)
+	}
+	if got := g.Within(geom.Pt(math.NaN(), 0), 10); len(got) != 0 {
+		t.Fatalf("NaN query = %v, want empty", got)
+	}
+}
+
+func TestHugeRadiusFallsBackToMapScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	pts := randomPts(rng, 100, 500, 500)
+	g := New(pts, 50)
+	got := g.Within(geom.Pt(0, 0), 1e18)
+	if len(got) != 100 {
+		t.Fatalf("huge-radius query returned %d ids, want all 100", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("huge-radius result not ascending")
+	}
+}
+
+func TestZeroAndInfiniteRadius(t *testing.T) {
+	pts := []geom.Point{geom.Pt(2, 3), geom.Pt(2, 3), geom.Pt(2.0000001, 3), geom.Pt(80, 80)}
+	g := New(pts, 5)
+	// r = 0 is a coincident-point lookup: Dist2 ≤ 0 admits exact matches,
+	// same as the naive scan's predicate.
+	if got := g.Within(geom.Pt(2, 3), 0); !equalInts(got, []int{0, 1}) {
+		t.Fatalf("zero-radius query = %v, want [0 1]", got)
+	}
+	if got := g.Within(geom.Pt(2, 3), math.Inf(1)); !equalInts(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("infinite-radius query = %v, want all", got)
+	}
+	if got := g.Within(geom.Pt(2, 3), -1); len(got) != 0 {
+		t.Fatalf("negative-radius query = %v, want empty", got)
+	}
+	if got := g.Within(geom.Pt(2, 3), math.NaN()); len(got) != 0 {
+		t.Fatalf("NaN-radius query = %v, want empty", got)
+	}
+}
+
+func TestAppendWithinReuse(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(100, 100)}
+	g := New(pts, 10)
+	buf := make([]int, 0, 8)
+	buf = g.AppendWithin(buf, geom.Pt(0, 0), 5)
+	if !equalInts(buf, []int{0, 1}) {
+		t.Fatalf("first query = %v", buf)
+	}
+	buf = g.AppendWithin(buf[:0], geom.Pt(100, 100), 5)
+	if !equalInts(buf, []int{2}) {
+		t.Fatalf("reused query = %v", buf)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cbtc/internal/geom"
+)
+
+// LargeNSizes are the node counts of the large-scale scenario family the
+// spatial-index benchmarks run on.
+var LargeNSizes = []int{1000, 5000, 10000}
+
+// LargeNScenario is one large-scale placement with its generation
+// parameters, for the n ≥ 1000 regime where the naive Θ(n²) paths stop
+// being interactive. The region grows as √n so the expected number of
+// in-range neighbors stays at the paper's density (~35 for R = 500),
+// which is the regime where grid acceleration pays off — and the honest
+// one: shrinking density with n would make large networks artificially
+// easy.
+type LargeNScenario struct {
+	// Name identifies the scenario (e.g. "uniform-5000").
+	Name string
+	// N is the node count.
+	N int
+	// Kind is "uniform" or "clustered".
+	Kind string
+	// Side is the square region's side length.
+	Side float64
+	// Radius is the maximum transmission radius to run with.
+	Radius float64
+}
+
+// LargeNSide returns the side of the square region that keeps n nodes at
+// the paper's evaluation density (PaperNodes in PaperRegionW×PaperRegionH).
+func LargeNSide(n int) float64 {
+	return PaperRegionW * math.Sqrt(float64(n)/float64(PaperNodes))
+}
+
+// LargeN returns the large-n scenario family: uniform and clustered
+// placements at every LargeNSizes count, all at constant density with
+// the paper's radius. Generate the actual placement with
+// LargeNScenario.Placement.
+func LargeN() []LargeNScenario {
+	out := make([]LargeNScenario, 0, 2*len(LargeNSizes))
+	for _, kind := range []string{"uniform", "clustered"} {
+		for _, n := range LargeNSizes {
+			out = append(out, LargeNScenario{
+				Name:   fmt.Sprintf("%s-%d", kind, n),
+				N:      n,
+				Kind:   kind,
+				Side:   LargeNSide(n),
+				Radius: PaperRadius,
+			})
+		}
+	}
+	return out
+}
+
+// Placement draws the scenario's node placement from the given seed.
+// Uniform scenarios are i.i.d. uniform over the region; clustered
+// scenarios put nodes in Gaussian clusters (one cluster per ~50 nodes,
+// spread R/2), a hotspot pattern whose dense cores are the worst case
+// for the naive delivery scan and the stress case for a grid — many
+// nodes share few cells.
+func (sc LargeNScenario) Placement(seed uint64) []geom.Point {
+	rng := Rand(seed)
+	switch sc.Kind {
+	case "clustered":
+		k := sc.N / 50
+		if k < 1 {
+			k = 1
+		}
+		return Clustered(rng, sc.N, k, sc.Radius/2, sc.Side, sc.Side)
+	default:
+		return Uniform(rng, sc.N, sc.Side, sc.Side)
+	}
+}

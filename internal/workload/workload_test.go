@@ -273,3 +273,39 @@ func TestRandomWaypointTrace(t *testing.T) {
 }
 
 func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLargeNFamily(t *testing.T) {
+	scs := LargeN()
+	if len(scs) != 2*len(LargeNSizes) {
+		t.Fatalf("LargeN() returned %d scenarios, want %d", len(scs), 2*len(LargeNSizes))
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		pos := sc.Placement(1)
+		if len(pos) != sc.N {
+			t.Fatalf("%s: placement has %d nodes, want %d", sc.Name, len(pos), sc.N)
+		}
+		for i, p := range pos {
+			if p.X < 0 || p.X > sc.Side || p.Y < 0 || p.Y > sc.Side {
+				t.Fatalf("%s: node %d at %v outside [0,%v]²", sc.Name, i, p, sc.Side)
+			}
+		}
+		again := sc.Placement(1)
+		for i := range pos {
+			if pos[i] != again[i] {
+				t.Fatalf("%s: placement not deterministic at node %d", sc.Name, i)
+			}
+		}
+		// Constant density: expected in-range neighbor count stays near the
+		// paper's ~35 regardless of n.
+		density := float64(sc.N) / (sc.Side * sc.Side)
+		expectNbrs := density * math.Pi * sc.Radius * sc.Radius
+		if expectNbrs < 20 || expectNbrs > 50 {
+			t.Fatalf("%s: expected neighbor count %.1f drifted from the paper's density", sc.Name, expectNbrs)
+		}
+	}
+}

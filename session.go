@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cbtc/internal/core"
+	"cbtc/internal/spatial"
 )
 
 // ErrBadEvent reports a Session event referencing an unknown or departed
@@ -40,6 +41,7 @@ type Session struct {
 	alive  []bool
 	nodes  []core.NodeResult
 	recs   []*core.Reconfigurator
+	idx    *spatial.Grid // live nodes only; maintained across events
 	stats  SessionStats
 	cached *Result
 }
@@ -88,6 +90,7 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 		alive: make([]bool, len(nodes)),
 		nodes: exec.Nodes,
 		recs:  make([]*core.Reconfigurator, len(nodes)),
+		idx:   spatial.New(nodes, e.model.MaxRadius),
 	}
 	for i := range nodes {
 		s.alive[i] = true
@@ -107,6 +110,7 @@ func (s *Session) Join(p Point) (int, EventReport) {
 	s.alive = append(s.alive, true)
 	s.nodes = append(s.nodes, core.NodeResult{})
 	s.recs = append(s.recs, nil)
+	s.idx.Add(id, p)
 	s.stats.Joins++
 
 	// The newcomer's beacon is a joinᵤ(id) event at every node that can
@@ -132,6 +136,7 @@ func (s *Session) Leave(id int) (EventReport, error) {
 		return EventReport{}, err
 	}
 	s.alive[id] = false
+	s.idx.Remove(id)
 	s.stats.Leaves++
 
 	var rep EventReport
@@ -165,6 +170,7 @@ func (s *Session) Move(id int, p Point) (EventReport, error) {
 	}
 	old := s.pos[id]
 	s.pos[id] = p
+	s.idx.Move(id, p)
 	s.stats.Moves++
 
 	var rep EventReport
@@ -288,12 +294,15 @@ func (s *Session) Engine() *Engine { return s.eng }
 // under-inclusion would let stale state survive.
 const rangeSlack = 1e-9
 
-// withinRange returns the live nodes other than self within R of p.
+// withinRange returns the live nodes other than self within R of p, in
+// ascending id order. The spatial index — which holds exactly the live
+// nodes — answers the radius query; the slightly widened query radius
+// plus the exact distance re-check reproduce the full-scan predicate.
 func (s *Session) withinRange(self int, p Point) []int {
 	r := s.eng.model.MaxRadius * (1 + rangeSlack)
 	out := make([]int, 0, 16)
-	for v := range s.pos {
-		if v == self || !s.alive[v] {
+	for _, v := range s.idx.Within(p, r*(1+spatial.QuerySlack)) {
+		if v == self {
 			continue
 		}
 		if s.pos[v].Dist(p) <= r {
@@ -321,7 +330,7 @@ func (s *Session) recompute(ids []int) []int {
 			s.recs[u] = nil
 			continue
 		}
-		nr := core.RunNode(s.pos, s.alive, s.eng.model, s.eng.cfg.Alpha, u)
+		nr := core.RunNode(s.pos, s.alive, s.eng.model, s.eng.cfg.Alpha, u, s.idx)
 		if s.eng.schedule != nil {
 			nr.Neighbors = core.QuantizeNeighbors(nr.Neighbors, s.eng.schedule)
 		}

@@ -112,6 +112,71 @@ func TestSessionConvergesToFreshRun(t *testing.T) {
 	}
 }
 
+// TestSessionLargeNIncrementalIndex runs a long mixed event stream over
+// a dense several-hundred-node session — the regime the incremental
+// spatial index exists for — and checks the maintained fixed point
+// against a fresh run at checkpoints, plus the locality guarantee that
+// each event only recomputes nodes near its site.
+func TestSessionLargeNIncrementalIndex(t *testing.T) {
+	const side = 3000.0
+	eng, err := New(WithMaxRadius(500), WithAllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.Rand(31)
+	sess, err := eng.NewSession(context.Background(), workload.Uniform(rng, 400, side, side))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 60; step++ {
+		var rep EventReport
+		var site Point
+		switch step % 4 {
+		case 0:
+			site = Pt(rng.Float64()*side, rng.Float64()*side)
+			_, rep = sess.Join(site)
+		case 1:
+			ids, _ := sessionLiveMap(sess)
+			id := ids[rng.IntN(len(ids))]
+			site = sess.Position(id)
+			if rep, err = sess.Leave(id); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			ids, _ := sessionLiveMap(sess)
+			id := ids[rng.IntN(len(ids))]
+			from := sess.Position(id)
+			site = Pt(rng.Float64()*side, rng.Float64()*side)
+			if rep, err = sess.Move(id, site); err != nil {
+				t.Fatal(err)
+			}
+			// A move affects both the old and the new neighborhood.
+			r := 2 * eng.Config().MaxRadius
+			for _, u := range rep.Recomputed {
+				p := sess.Position(u)
+				if p.Dist(site) > r*(1+1e-9) && p.Dist(from) > r*(1+1e-9) {
+					t.Fatalf("step %d: recomputed node %d at %v is outside both event neighborhoods", step, u, p)
+				}
+			}
+			if step%10 == 0 {
+				requireSessionMatchesFreshRun(t, eng, sess)
+			}
+			continue
+		}
+		r := 2 * eng.Config().MaxRadius
+		for _, u := range rep.Recomputed {
+			if sess.Position(u).Dist(site) > r*(1+1e-9) {
+				t.Fatalf("step %d: recomputed node %d at %v is outside the event neighborhood of %v",
+					step, u, sess.Position(u), site)
+			}
+		}
+		if step%10 == 0 {
+			requireSessionMatchesFreshRun(t, eng, sess)
+		}
+	}
+	requireSessionMatchesFreshRun(t, eng, sess)
+}
+
 // Replaying cmd/dynsim's built-in crash/move/add demo through the public
 // Session API must preserve connectivity at every checkpoint (the §4
 // guarantee at the oracle fixed point).
