@@ -12,7 +12,10 @@ import (
 // RunBatch executes CBTC(α) on every placement, fanning the independent
 // networks across a pool of worker goroutines (GOMAXPROCS by default;
 // see WithWorkers). The returned slice is aligned with placements:
-// results[i] is the outcome of Run on placements[i].
+// results[i] is the outcome of Run on placements[i]. Each placement runs
+// serially inside its worker — batch-level parallelism already saturates
+// the pool, so multiplying it by Run's per-node parallelism would only
+// oversubscribe the scheduler.
 //
 // The first failure cancels the remaining work and is returned; if ctx
 // ends first, RunBatch aborts mid-batch and returns ctx.Err(). Workers
@@ -21,7 +24,7 @@ import (
 func (e *Engine) RunBatch(ctx context.Context, placements [][]Point) ([]*Result, error) {
 	results := make([]*Result, len(placements))
 	err := forEachParallel(ctx, len(placements), e.workers, func(ctx context.Context, i int) error {
-		res, err := e.Run(ctx, placements[i])
+		res, err := e.run(ctx, placements[i], 1)
 		if err != nil {
 			// Report a cancellation as the bare context error, not as a
 			// placement failure.

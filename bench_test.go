@@ -385,6 +385,18 @@ func BenchmarkLargeN(b *testing.B) {
 				}
 			}
 		})
+		// The PR 3 tentpole: the same oracle fanned across an 8-worker
+		// pool. Output is byte-identical to /oracle/grid (asserted by
+		// TestRunParallelDeterministic); BENCH_PR3.json gates the
+		// parallel-vs-serial ratio at n=10000 on multi-core runners.
+		b.Run(sc.Name+"/oracle/par8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunParallel(ctx, pos, m, AlphaConnectivity, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		if sc.N <= 5000 {
 			b.Run(sc.Name+"/oracle/naive", func(b *testing.B) {
 				b.ReportAllocs()
@@ -448,6 +460,40 @@ func BenchmarkLargeN(b *testing.B) {
 				recomputed += len(rep.Recomputed)
 			}
 			b.ReportMetric(float64(recomputed)/float64(b.N), "recomputed/op")
+		})
+
+		// Incremental Snapshot: one Move then a fresh snapshot per
+		// iteration. Before PR 3 every snapshot rebuilt the full topology
+		// and ground-truth G_R; now it patches the recomputed nodes' arcs
+		// and clones the maintained graphs.
+		b.Run(sc.Name+"/session-snapshot", func(b *testing.B) {
+			eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := eng.NewSession(ctx, pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			rng := workload.Rand(101)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := rng.IntN(len(pos))
+				if !sess.Alive(id) {
+					continue
+				}
+				to := geom.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+				if _, err := sess.Move(id, to); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

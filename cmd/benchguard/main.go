@@ -1,24 +1,27 @@
 // Command benchguard parses `go test -bench` output and gates benchmark
 // regressions in CI.
 //
-// Parse mode converts benchmark text into a JSON report of ns/op per
-// benchmark (CPU-count suffixes stripped, so names are stable across
-// machines):
+// Parse mode converts benchmark text into a JSON report of ns/op — plus
+// B/op and allocs/op where the benchmark ran with -benchmem or
+// b.ReportAllocs() — per benchmark (CPU-count suffixes stripped, so
+// names are stable across machines):
 //
 //	go test -run=- -bench=. -benchtime=1x . | tee bench.out
 //	benchguard -parse bench.out -out current.json
 //
 // Check mode compares a current report against a committed baseline and
 // exits non-zero if any tracked benchmark regressed beyond the
-// tolerance, a tracked benchmark disappeared, or a required
-// grid-vs-naive speedup ratio is no longer met:
+// tolerance, a tracked benchmark disappeared, a required speedup ratio
+// (grid vs naive, parallel vs serial) is no longer met, or an
+// allocation ceiling (allocs/op or B/op) is exceeded:
 //
-//	benchguard -check -baseline BENCH_PR2.json -current current.json
+//	benchguard -check -baseline BENCH_PR3.json -current current.json
 //
 // The baseline's absolute ns/op values are machine-dependent — regenerate
 // them (parse mode writes the same schema) when the CI runner class
 // changes. The ratio checks compare two benchmarks from the same run and
-// are machine-independent; they are the stronger guard.
+// the allocation ceilings count deterministic allocator traffic; both are
+// machine-independent and are the stronger guards.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 )
@@ -42,23 +46,41 @@ type Report struct {
 	Tolerance float64 `json:"tolerance,omitempty"`
 	// Benchmarks maps benchmark name (without -cpu suffix) to ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Bytes and Allocs map benchmark name to B/op and allocs/op, for
+	// benchmarks that report them. Unlike ns/op these are deterministic
+	// properties of the code, not the machine.
+	Bytes  map[string]float64 `json:"bytes,omitempty"`
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 	// Ratios are required speedups between two benchmarks of the same
 	// run. Only read from baselines.
 	Ratios []RatioCheck `json:"ratios,omitempty"`
+	// AllocCeilings and ByteCeilings cap the current run's allocs/op and
+	// B/op per benchmark. Only read from baselines; they encode "the
+	// allocation win must not erode" as a hard machine-independent gate.
+	AllocCeilings map[string]float64 `json:"alloc_ceilings,omitempty"`
+	ByteCeilings  map[string]float64 `json:"byte_ceilings,omitempty"`
 }
 
 // RatioCheck requires Slow/Fast ≥ Min in the current run — e.g. the
-// naive oracle must stay at least 5× slower than the grid oracle.
+// naive oracle must stay at least 5× slower than the grid oracle, or the
+// serial oracle at least 3× slower than its 8-worker variant.
 type RatioCheck struct {
 	Slow string  `json:"slow"`
 	Fast string  `json:"fast"`
 	Min  float64 `json:"min"`
+	// MinCores marks a ratio that only holds on sufficiently parallel
+	// hardware (the parallel-vs-serial speedups). On machines with fewer
+	// cores the check is reported as skipped instead of failed, so the
+	// baseline can be regenerated anywhere while the CI runner class
+	// still enforces the floor.
+	MinCores int `json:"min_cores,omitempty"`
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
+// benchLine matches one `go test -bench` result line, optionally with
+// the -benchmem columns, e.g.
 //
-//	BenchmarkLargeN/uniform-5000/oracle/grid-8   3   22612579 ns/op   ...
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+//	BenchmarkLargeN/uniform-5000/oracle/grid-8   3   22612579 ns/op   1198 B/op   22 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:.*?\s([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
 
 func main() {
 	var (
@@ -100,7 +122,12 @@ func runParse(in, out, note string) error {
 		}
 		defer f.Close()
 	}
-	rep := Report{Note: note, Benchmarks: map[string]float64{}}
+	rep := Report{
+		Note:       note,
+		Benchmarks: map[string]float64{},
+		Bytes:      map[string]float64{},
+		Allocs:     map[string]float64{},
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -113,6 +140,20 @@ func runParse(in, out, note string) error {
 			return fmt.Errorf("line %q: %v", sc.Text(), err)
 		}
 		rep.Benchmarks[mm[1]] = ns
+		if mm[3] != "" {
+			v, err := strconv.ParseFloat(mm[3], 64)
+			if err != nil {
+				return fmt.Errorf("line %q: %v", sc.Text(), err)
+			}
+			rep.Bytes[mm[1]] = v
+		}
+		if mm[4] != "" {
+			v, err := strconv.ParseFloat(mm[4], 64)
+			if err != nil {
+				return fmt.Errorf("line %q: %v", sc.Text(), err)
+			}
+			rep.Allocs[mm[1]] = v
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -193,6 +234,11 @@ func runCheck(basePath, curPath string, tolOverride float64) error {
 		}
 	}
 	for _, rc := range base.Ratios {
+		if rc.MinCores > runtime.NumCPU() {
+			fmt.Printf("skip     ratio %s / %s: needs >= %d cores, have %d\n",
+				rc.Slow, rc.Fast, rc.MinCores, runtime.NumCPU())
+			continue
+		}
 		slow, okS := cur.Benchmarks[rc.Slow]
 		fast, okF := cur.Benchmarks[rc.Fast]
 		switch {
@@ -206,9 +252,38 @@ func runCheck(basePath, curPath string, tolOverride float64) error {
 			fmt.Printf("ok       ratio %s / %s = %.1fx (>= %.1fx)\n", rc.Slow, rc.Fast, slow/fast, rc.Min)
 		}
 	}
+	failures += checkCeilings("allocs/op", base.AllocCeilings, cur.Allocs)
+	failures += checkCeilings("B/op", base.ByteCeilings, cur.Bytes)
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark check(s) failed", failures)
 	}
-	fmt.Printf("all %d tracked benchmarks and %d ratios within tolerance\n", len(names), len(base.Ratios))
+	fmt.Printf("all %d tracked benchmarks, %d ratios and %d ceilings within tolerance\n",
+		len(names), len(base.Ratios), len(base.AllocCeilings)+len(base.ByteCeilings))
 	return nil
+}
+
+// checkCeilings enforces per-benchmark upper bounds on a deterministic
+// metric (allocs/op or B/op). It returns the number of failures.
+func checkCeilings(unit string, ceilings map[string]float64, current map[string]float64) int {
+	names := make([]string, 0, len(ceilings))
+	for name := range ceilings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		limit := ceilings[name]
+		got, ok := current[name]
+		switch {
+		case !ok:
+			fmt.Printf("MISSING  %-55s no %s reported in current run\n", name, unit)
+			failures++
+		case got > limit:
+			fmt.Printf("CEILING  %-55s %12.0f %s, limit %.0f\n", name, got, unit, limit)
+			failures++
+		default:
+			fmt.Printf("ok       %-55s %12.0f %s (limit %.0f)\n", name, got, unit, limit)
+		}
+	}
+	return failures
 }

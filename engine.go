@@ -20,7 +20,7 @@ type Engine struct {
 	model    radio.Model
 	opts     core.Options
 	schedule []float64 // non-nil: quantize discovery tags to these levels
-	workers  int       // RunBatch worker count; 0 = GOMAXPROCS
+	workers  int       // worker pool size for Run/RunBatch/MaxPower/Session repair; 0 = GOMAXPROCS
 }
 
 // New builds an Engine from functional options, validating the combined
@@ -66,10 +66,18 @@ func (e *Engine) Alpha() float64 { return e.cfg.Alpha }
 
 // Run executes CBTC(α) on the placement under the exact minimal-power
 // semantics of the paper's analysis and applies the engine's
-// optimization stack. Cancelling ctx aborts the computation with
-// ctx.Err().
+// optimization stack. The per-node cone tests are fanned across the
+// engine's worker pool (WithWorkers; GOMAXPROCS by default) — the result
+// is identical at every worker count. Cancelling ctx aborts the
+// computation with ctx.Err().
 func (e *Engine) Run(ctx context.Context, nodes []Point) (*Result, error) {
-	exec, err := core.RunContext(ctx, nodes, e.model, e.cfg.Alpha)
+	return e.run(ctx, nodes, e.workers)
+}
+
+// run is Run with an explicit worker count; RunBatch pins it to 1 so
+// batch-level parallelism is not multiplied by per-run parallelism.
+func (e *Engine) run(ctx context.Context, nodes []Point, workers int) (*Result, error) {
+	exec, err := core.RunParallel(ctx, nodes, e.model, e.cfg.Alpha, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +88,7 @@ func (e *Engine) Run(ctx context.Context, nodes []Point) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newResult(nodes, e.model, topo), nil
+	return newResult(nodes, e.model, topo, workers), nil
 }
 
 // Simulate runs the distributed Hello/Ack protocol of the paper's
@@ -121,15 +129,16 @@ func (e *Engine) Simulate(ctx context.Context, nodes []Point, sim SimOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	return newResult(nodes, e.model, topo), nil
+	return newResult(nodes, e.model, topo, e.workers), nil
 }
 
 // MaxPower returns the Result of using no topology control at all:
 // every node transmits at maximum power (the paper's baseline column in
-// Table 1). The engine's optimization stack does not apply.
+// Table 1). The G_R radius queries are fanned across the engine's worker
+// pool. The engine's optimization stack does not apply.
 func (e *Engine) MaxPower(nodes []Point) (*Result, error) {
 	m := e.model
-	gr := core.MaxPowerGraph(nodes, m)
+	gr := core.MaxPowerGraphParallel(nodes, m, e.workers)
 	radii := make([]float64, len(nodes))
 	powers := make([]float64, len(nodes))
 	boundary := make([]bool, len(nodes))

@@ -55,7 +55,20 @@ const ctxCheckStride = 16
 // the placement and shared by every per-node candidate gather, making the
 // oracle Θ(n·k) for k in-range neighbors instead of Θ(n²).
 func RunContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
-	return runContext(ctx, pos, m, alpha, true)
+	return runContext(ctx, pos, m, alpha, true, 1)
+}
+
+// RunParallel is RunContext with the per-node computations fanned across
+// a pool of `workers` goroutines (non-positive means GOMAXPROCS; 1 is the
+// serial path). Each node's cone test depends only on the read-only
+// placement and the shared immutable grid, so workers claim chunks of the
+// node range from an atomic counter, keep private gather scratch, and
+// write disjoint Execution slots. The output is identical — edge for
+// edge, bit for bit — at every worker count; only wall-clock changes.
+// Cancellation is polled per worker on its own stride, so latency does
+// not grow with the pool size.
+func RunParallel(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64, workers int) (*Execution, error) {
+	return runContext(ctx, pos, m, alpha, true, workers)
 }
 
 // RunNaive is RunContext without the spatial index: every candidate
@@ -63,10 +76,10 @@ func RunContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha floa
 // naive-vs-grid equivalence tests and benchmarks compare against; both
 // paths produce identical Executions.
 func RunNaive(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
-	return runContext(ctx, pos, m, alpha, false)
+	return runContext(ctx, pos, m, alpha, false, 1)
 }
 
-func runContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64, indexed bool) (*Execution, error) {
+func runContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64, indexed bool, workers int) (*Execution, error) {
 	if err := validateInput(pos, m, alpha); err != nil {
 		return nil, err
 	}
@@ -80,16 +93,30 @@ func runContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha floa
 		Pos:   append([]geom.Point(nil), pos...),
 		Nodes: make([]NodeResult, len(pos)),
 	}
-	var scr gatherScratch
-	for u := range pos {
-		if u%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		exec.Nodes[u] = runNode(pos, nil, m, alpha, u, idx, &scr)
+	workers = ResolveWorkers(workers, len(pos))
+	scratch := make([]gatherScratch, workers)
+	err := ParallelRange(ctx, len(pos), workers, func(w, u int) {
+		exec.Nodes[u] = runNode(pos, nil, m, alpha, u, idx, &scratch[w])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return exec, nil
+}
+
+// NodeRunner is a reusable RunNode executor: it owns the gather scratch
+// buffers a bare RunNode call would allocate fresh, so callers that
+// recompute many nodes (session batch repair, the parallel oracle's
+// workers) amortize the buffers across calls. A NodeRunner is not safe
+// for concurrent use — give each worker its own.
+type NodeRunner struct {
+	scr gatherScratch
+}
+
+// RunNode computes N_α(u) exactly as the package-level RunNode does,
+// reusing the runner's scratch buffers.
+func (r *NodeRunner) RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index) NodeResult {
+	return runNode(pos, alive, m, alpha, u, idx, &r.scr)
 }
 
 // gatherScratch holds the per-node gather buffers RunContext reuses
@@ -245,7 +272,7 @@ func MaxPowerGraph(pos []geom.Point, m radio.Model) *graph.Graph {
 // predicate decides.
 func MaxPowerGraphIndexed(pos []geom.Point, m radio.Model, idx Index) *graph.Graph {
 	g := graph.New(len(pos))
-	rr := m.MaxRadius * (1 + distTieTol)
+	rr, _ := maxPowerRadii(m)
 	if idx == nil {
 		for u := 0; u < len(pos); u++ {
 			for v := u + 1; v < len(pos); v++ {
@@ -256,12 +283,87 @@ func MaxPowerGraphIndexed(pos []geom.Point, m radio.Model, idx Index) *graph.Gra
 		}
 		return g
 	}
+	var scratch []int
 	for u := 0; u < len(pos); u++ {
-		for _, v := range idx.Within(pos[u], rr*(1+spatial.QuerySlack)) {
-			if v > u && pos[u].Dist(pos[v]) <= rr {
+		scratch = appendMaxPowerNeighbors(scratch[:0], pos, m, u, idx)
+		for _, v := range scratch {
+			if v > u {
 				g.AddEdge(u, v)
 			}
 		}
 	}
 	return g
+}
+
+// MaxPowerGraphParallel is MaxPowerGraph with the per-node radius queries
+// fanned across a worker pool (non-positive workers means GOMAXPROCS);
+// MaxPowerGraphParallelIndexed reuses a caller-maintained index instead
+// of building one. The distance filtering — the Θ(n·k) part — runs in
+// parallel over the read-only grid; the edge assembly is a cheap serial
+// pass, so the graph is identical to the serial build at every worker
+// count.
+func MaxPowerGraphParallel(pos []geom.Point, m radio.Model, workers int) *graph.Graph {
+	return MaxPowerGraphParallelIndexed(pos, m, spatial.New(pos, m.MaxRadius), workers)
+}
+
+// MaxPowerGraphParallelIndexed is MaxPowerGraphParallel over a
+// caller-supplied candidate index (Sessions pass their live-node grid to
+// avoid rebuilding one over the same placement).
+func MaxPowerGraphParallelIndexed(pos []geom.Point, m radio.Model, idx Index, workers int) *graph.Graph {
+	workers = ResolveWorkers(workers, len(pos))
+	if workers <= 1 {
+		return MaxPowerGraphIndexed(pos, m, idx)
+	}
+	rows := make([][]int32, len(pos))
+	scratch := make([][]int, workers)
+	// ctx is inert here: the gather is pure computation with no caller to
+	// cancel it (Engine.MaxPower has no context parameter).
+	_ = ParallelRange(context.Background(), len(pos), workers, func(w, u int) {
+		scratch[w] = appendMaxPowerNeighbors(scratch[w][:0], pos, m, u, idx)
+		var row []int32
+		for _, v := range scratch[w] {
+			if v > u {
+				row = append(row, int32(v))
+			}
+		}
+		rows[u] = row
+	})
+	g := graph.New(len(pos))
+	for u, row := range rows {
+		for _, v := range row {
+			g.AddEdge(u, int(v))
+		}
+	}
+	return g
+}
+
+// AppendMaxPowerNeighbors appends the ids of indexed nodes within
+// maximum-power range of pos[u] — exactly the nodes MaxPowerGraph would
+// connect to u. Sessions use it to maintain their ground-truth G_R
+// incrementally instead of rebuilding the full graph per snapshot.
+func AppendMaxPowerNeighbors(dst []int, pos []geom.Point, m radio.Model, u int, idx Index) []int {
+	return appendMaxPowerNeighbors(dst, pos, m, u, idx)
+}
+
+// maxPowerRadii is the single source of the max-power reachability
+// predicate's radii: the tolerance-carrying exact radius rr, and the
+// slack-widened query radius qr whose superset the exact `dist ≤ rr`
+// recheck filters. Every G_R construction site must derive its
+// candidates from these two values, or the incrementally-maintained
+// session G_R would drift from the from-scratch builds.
+func maxPowerRadii(m radio.Model) (rr, qr float64) {
+	rr = m.MaxRadius * (1 + distTieTol)
+	return rr, rr * (1 + spatial.QuerySlack)
+}
+
+// appendMaxPowerNeighbors appends every indexed v ≠ u with
+// Dist(u, v) ≤ rr, in the index's ascending-id order.
+func appendMaxPowerNeighbors(dst []int, pos []geom.Point, m radio.Model, u int, idx Index) []int {
+	rr, qr := maxPowerRadii(m)
+	for _, v := range idx.Within(pos[u], qr) {
+		if v != u && pos[u].Dist(pos[v]) <= rr {
+			dst = append(dst, v)
+		}
+	}
+	return dst
 }

@@ -128,6 +128,17 @@ func (d *Digraph) AsymmetricArcs() []Edge {
 	return arcs
 }
 
+// Grow appends k nodes with no arcs, extending the id space to Len()+k.
+func (d *Digraph) Grow(k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("graph: negative growth %d", k))
+	}
+	for i := 0; i < k; i++ {
+		d.out = append(d.out, make(map[int]struct{}))
+	}
+	d.n += k
+}
+
 // Clone returns a deep copy.
 func (d *Digraph) Clone() *Digraph {
 	c := NewDigraph(d.n)

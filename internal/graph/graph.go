@@ -140,6 +140,18 @@ func (g *Graph) Edges() []Edge {
 	return edges
 }
 
+// Grow appends k isolated nodes, extending the id space to Len()+k.
+// Dynamic scenarios use it when a session admits a joining node.
+func (g *Graph) Grow(k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("graph: negative growth %d", k))
+	}
+	for i := 0; i < k; i++ {
+		g.adj = append(g.adj, make(map[int]struct{}))
+	}
+	g.n += k
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)

@@ -12,6 +12,10 @@ import (
 //	bcast(u, p, m)   -> Broadcast
 //	send(u, p, m, v) -> Unicast
 //	recv(u, m, v)    -> Process.Recv
+//
+// The simulator owns the Context and re-targets one buffer per event, so
+// a Context is only valid during the callback it was passed to; processes
+// must not retain it.
 type Context struct {
 	sim *Sim
 	id  int
@@ -46,14 +50,18 @@ func (c *Context) Unicast(to int, power float64, payload interface{}) {
 }
 
 // SetTimer schedules a Timer callback on this node after delay time
-// units. Timers on crashed nodes never fire.
-func (c *Context) SetTimer(delay float64, kind int, data interface{}) {
-	id := c.id
+// units, carrying the value v back to the callback (protocols tag round
+// timers with the power they were armed at). Timers on crashed nodes
+// never fire. The timer is a plain value event: arming one performs no
+// allocation, which is what keeps the per-round/per-node timer traffic
+// of large protocol runs off the allocator.
+func (c *Context) SetTimer(delay float64, kind int, v float64) {
 	s := c.sim
-	s.schedule(s.now+delay, func() {
-		if s.crashed[id] || s.procs[id] == nil {
-			return
-		}
-		s.procs[id].Timer(&Context{sim: s, id: id}, kind, data)
+	s.scheduleEvent(event{
+		at:    s.now + delay,
+		kind:  evTimer,
+		node:  int32(c.id),
+		tkind: int32(kind),
+		fv:    v,
 	})
 }

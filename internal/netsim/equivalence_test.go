@@ -26,7 +26,7 @@ type floodMsg struct {
 func (f *flooder) Init(ctx *Context) {
 	f.record(ctx, "init", Delivery{})
 	ctx.Broadcast(f.model.MaxPower()/4, floodMsg{ttl: 1, token: ctx.ID()})
-	ctx.SetTimer(3, 1, nil)
+	ctx.SetTimer(3, 1, 0)
 }
 
 func (f *flooder) Recv(ctx *Context, d Delivery) {
@@ -41,7 +41,7 @@ func (f *flooder) Recv(ctx *Context, d Delivery) {
 	ctx.Unicast(d.From, f.model.MaxPower(), floodMsg{ack: true, token: m.token})
 }
 
-func (f *flooder) Timer(ctx *Context, kind int, data interface{}) {
+func (f *flooder) Timer(ctx *Context, kind int, v float64) {
 	f.record(ctx, "timer", Delivery{})
 	ctx.Broadcast(f.model.MaxPower(), floodMsg{token: -ctx.ID()})
 }

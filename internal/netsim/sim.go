@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -13,15 +12,18 @@ import (
 
 // Process is the behavior installed on each node. The simulator calls
 // its methods sequentially; a process never runs concurrently with
-// itself or any other process.
+// itself or any other process. The Context passed to a callback is owned
+// by the simulator and only valid for the duration of that callback —
+// processes must not retain it.
 type Process interface {
 	// Init runs once when the simulation starts (or when the node is
 	// added to a running simulation).
 	Init(ctx *Context)
 	// Recv handles a delivered message.
 	Recv(ctx *Context, d Delivery)
-	// Timer handles an expired timer set through Context.SetTimer.
-	Timer(ctx *Context, kind int, data interface{})
+	// Timer handles an expired timer set through Context.SetTimer; v is
+	// the value passed at arming time.
+	Timer(ctx *Context, kind int, v float64)
 }
 
 // Delivery is a received message together with the physical-layer
@@ -65,6 +67,7 @@ type Sim struct {
 
 	grid    *spatial.Grid // cell ≈ R; nil only in NaiveDelivery mode
 	scratch []int         // reusable Within result buffer
+	cbuf    Context       // reusable callback context; see dispatch
 
 	stats     Stats
 	energyTx  []float64
@@ -83,29 +86,88 @@ func (s *Sim) SetInterrupt(fn func() bool) { s.interrupt = fn }
 
 func (s *Sim) interrupted() bool { return s.interrupt != nil && s.interrupt() }
 
+// evKind discriminates the value-typed event union. Events used to carry
+// a closure (`fn func()`), which allocated one capture block per
+// scheduled event — the dominant allocation of large simulations. The
+// protocol traffic (timers, deliveries, inits) is now described by plain
+// fields dispatched in the loop; only explicitly scripted callbacks
+// (ScheduleAt) still carry a closure.
+type evKind uint8
+
+const (
+	// evFunc runs a scripted callback (ScheduleAt).
+	evFunc evKind = iota
+	// evInit delivers Process.Init to node.
+	evInit
+	// evTimer delivers Process.Timer(tkind, fv) to node.
+	evTimer
+	// evDeliver delivers del to node via Process.Recv.
+	evDeliver
+)
+
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at    float64
+	seq   uint64
+	kind  evKind
+	node  int32    // target node for evInit/evTimer/evDeliver
+	tkind int32    // timer kind for evTimer
+	fv    float64  // timer value for evTimer
+	del   Delivery // payload for evDeliver
+	fn    func()   // callback for evFunc
 }
 
+// eventHeap is a binary min-heap over (at, seq), hand-rolled so pushes
+// and pops move event values directly instead of boxing them through
+// container/heap's interface{} — one allocation per event saved, and the
+// backing array is reused across the whole simulation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = event{} // release the closure/payload references
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }
 
 // New builds a simulator over the given placement. Processes are
@@ -121,7 +183,12 @@ func New(pos []geom.Point, opts Options) (*Sim, error) {
 		procs:    make([]Process, len(pos)),
 		crashed:  make([]bool, len(pos)),
 		energyTx: make([]float64, len(pos)),
+		// Pre-size the event heap for the steady state (every node with an
+		// outstanding timer plus in-flight deliveries) so the growth
+		// reallocations happen once, up front.
+		queue: make(eventHeap, 0, max(64, 4*len(pos))),
 	}
+	s.cbuf.sim = s
 	if !opts.NaiveDelivery {
 		s.grid = spatial.New(s.pos, opts.Model.MaxRadius)
 	}
@@ -151,11 +218,7 @@ func (s *Sim) TotalEnergy() float64 {
 func (s *Sim) SetProcess(id int, p Process) {
 	s.checkID(id)
 	s.procs[id] = p
-	s.schedule(s.now, func() {
-		if !s.crashed[id] && s.procs[id] != nil {
-			s.procs[id].Init(&Context{sim: s, id: id})
-		}
-	})
+	s.scheduleEvent(event{at: s.now, kind: evInit, node: int32(id)})
 }
 
 // Len returns the number of nodes.
@@ -229,13 +292,13 @@ func (s *Sim) ScheduleAt(t float64, fn func()) {
 // passes `until`. It returns the number of events processed.
 func (s *Sim) Run(until float64) int {
 	processed := 0
-	for s.queue.Len() > 0 {
+	for len(s.queue) > 0 {
 		if s.queue[0].at > until || s.interrupted() {
 			break
 		}
-		ev := heap.Pop(&s.queue).(event)
+		ev := s.queue.pop()
 		s.now = ev.at
-		ev.fn()
+		s.dispatch(&ev)
 		processed++
 		s.stats.Events++
 	}
@@ -248,25 +311,66 @@ func (s *Sim) Run(until float64) int {
 // RunUntilQuiet processes events until the queue drains, failing if the
 // clock passes maxTime first (a protocol that never converges).
 func (s *Sim) RunUntilQuiet(maxTime float64) error {
-	for s.queue.Len() > 0 {
+	for len(s.queue) > 0 {
 		if s.interrupted() {
-			return fmt.Errorf("%w at time %v with %d events pending", ErrInterrupted, s.now, s.queue.Len())
+			return fmt.Errorf("%w at time %v with %d events pending", ErrInterrupted, s.now, len(s.queue))
 		}
 		if s.queue[0].at > maxTime {
 			return fmt.Errorf("netsim: still %d events pending at time %v (limit %v)",
-				s.queue.Len(), s.queue[0].at, maxTime)
+				len(s.queue), s.queue[0].at, maxTime)
 		}
-		ev := heap.Pop(&s.queue).(event)
+		ev := s.queue.pop()
 		s.now = ev.at
-		ev.fn()
+		s.dispatch(&ev)
 		s.stats.Events++
 	}
 	return nil
 }
 
+// dispatch executes one popped event. The liveness checks happen here —
+// at fire time, not at schedule time — preserving the semantics of the
+// closure-based events: a node that crashed or was cleared after the
+// event was scheduled silently absorbs it.
+//
+// The Context handed to callbacks is a single per-Sim value re-targeted
+// for each dispatch. The event loop is strictly sequential and processes
+// never retain the Context past their callback (the Process contract),
+// so one buffer serves every event with zero allocations.
+func (s *Sim) dispatch(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evInit:
+		id := int(ev.node)
+		if !s.crashed[id] && s.procs[id] != nil {
+			s.cbuf.id = id
+			s.procs[id].Init(&s.cbuf)
+		}
+	case evTimer:
+		id := int(ev.node)
+		if !s.crashed[id] && s.procs[id] != nil {
+			s.cbuf.id = id
+			s.procs[id].Timer(&s.cbuf, int(ev.tkind), ev.fv)
+		}
+	case evDeliver:
+		to := int(ev.node)
+		if s.crashed[to] || s.procs[to] == nil {
+			return
+		}
+		s.stats.Delivered++
+		s.cbuf.id = to
+		s.procs[to].Recv(&s.cbuf, ev.del)
+	}
+}
+
 func (s *Sim) schedule(at float64, fn func()) {
-	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+	s.scheduleEvent(event{at: at, kind: evFunc, fn: fn})
+}
+
+func (s *Sim) scheduleEvent(ev event) {
+	ev.seq = s.seq
 	s.seq++
+	s.queue.push(ev)
 }
 
 func (s *Sim) checkID(id int) {
@@ -351,18 +455,16 @@ func (s *Sim) deliverOnce(from, to int, txPower, dist float64, payload interface
 	if s.opts.AoANoise > 0 {
 		bearing = geom.Normalize(bearing + s.rng.NormFloat64()*s.opts.AoANoise)
 	}
-	del := Delivery{
-		From:    from,
-		TxPower: txPower,
-		RxPower: s.opts.Model.ReceivedPower(txPower, dist),
-		Bearing: bearing,
-		Payload: payload,
-	}
-	s.schedule(s.now+delay, func() {
-		if s.crashed[to] || s.procs[to] == nil {
-			return
-		}
-		s.stats.Delivered++
-		s.procs[to].Recv(&Context{sim: s, id: to}, del)
+	s.scheduleEvent(event{
+		at:   s.now + delay,
+		kind: evDeliver,
+		node: int32(to),
+		del: Delivery{
+			From:    from,
+			TxPower: txPower,
+			RxPower: s.opts.Model.ReceivedPower(txPower, dist),
+			Bearing: bearing,
+			Payload: payload,
+		},
 	})
 }

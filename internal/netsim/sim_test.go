@@ -16,7 +16,7 @@ type recorder struct {
 	timers     []int
 	onInit     func(ctx *Context)
 	onRecv     func(ctx *Context, d Delivery)
-	onTimer    func(ctx *Context, kind int, data interface{})
+	onTimer    func(ctx *Context, kind int, v float64)
 }
 
 func (r *recorder) Init(ctx *Context) {
@@ -31,10 +31,10 @@ func (r *recorder) Recv(ctx *Context, d Delivery) {
 		r.onRecv(ctx, d)
 	}
 }
-func (r *recorder) Timer(ctx *Context, kind int, data interface{}) {
+func (r *recorder) Timer(ctx *Context, kind int, v float64) {
 	r.timers = append(r.timers, kind)
 	if r.onTimer != nil {
-		r.onTimer(ctx, kind, data)
+		r.onTimer(ctx, kind, v)
 	}
 }
 
@@ -171,9 +171,9 @@ func TestTimers(t *testing.T) {
 	s, recs := newSim(t, pos, DefaultOptions(m))
 	var fireTime float64
 	recs[0].onInit = func(ctx *Context) {
-		ctx.SetTimer(5, 7, nil)
+		ctx.SetTimer(5, 7, 0)
 	}
-	recs[0].onTimer = func(ctx *Context, kind int, data interface{}) {
+	recs[0].onTimer = func(ctx *Context, kind int, v float64) {
 		fireTime = ctx.Now()
 	}
 	if err := s.RunUntilQuiet(100); err != nil {
@@ -192,7 +192,7 @@ func TestCrashStopsEverything(t *testing.T) {
 	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0)}
 	s, recs := newSim(t, pos, DefaultOptions(m))
 	recs[0].onInit = func(ctx *Context) {
-		ctx.SetTimer(10, 1, nil) // would fire after the crash
+		ctx.SetTimer(10, 1, 0) // would fire after the crash
 	}
 	s.ScheduleAt(5, func() { s.Crash(0) })
 	s.ScheduleAt(6, func() {
@@ -278,11 +278,11 @@ func TestDeterminism(t *testing.T) {
 		// Every node broadcasts periodically and echoes on reception.
 		for i := range pos {
 			id := i
-			recs[i].onInit = func(ctx *Context) { ctx.SetTimer(float64(id+1), 0, nil) }
-			recs[i].onTimer = func(ctx *Context, kind int, data interface{}) {
+			recs[i].onInit = func(ctx *Context) { ctx.SetTimer(float64(id+1), 0, 0) }
+			recs[i].onTimer = func(ctx *Context, kind int, v float64) {
 				ctx.Broadcast(m.PowerFor(250), ctx.Now())
 				if ctx.Now() < 50 {
-					ctx.SetTimer(5, 0, nil)
+					ctx.SetTimer(5, 0, 0)
 				}
 			}
 		}
@@ -382,9 +382,9 @@ func TestRunStopsAtDeadline(t *testing.T) {
 	m := testModel()
 	pos := []geom.Point{geom.Pt(0, 0)}
 	s, recs := newSim(t, pos, DefaultOptions(m))
-	recs[0].onInit = func(ctx *Context) { ctx.SetTimer(10, 0, nil) }
-	recs[0].onTimer = func(ctx *Context, kind int, data interface{}) {
-		ctx.SetTimer(10, 0, nil) // forever
+	recs[0].onInit = func(ctx *Context) { ctx.SetTimer(10, 0, 0) }
+	recs[0].onTimer = func(ctx *Context, kind int, v float64) {
+		ctx.SetTimer(10, 0, 0) // forever
 	}
 	s.Run(35)
 	if got := len(recs[0].timers); got != 3 {

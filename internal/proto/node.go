@@ -45,6 +45,11 @@ type Node struct {
 	lastHeard map[int]float64
 	lastDir   map[int]float64
 
+	// dirs is the reusable buffer behind directions(): the per-round gap
+	// test is the hottest per-node path of the growing phase, and a fresh
+	// slice per round was its dominant allocation.
+	dirs []float64
+
 	// Events observed, for tests and reporting.
 	Joins, Leaves, AngleChanges, Regrows int
 }
@@ -137,11 +142,12 @@ func (n *Node) onAck(ctx *netsim.Context, d netsim.Delivery, msg ackMsg) {
 	}
 }
 
-// Timer dispatches on timer kind.
-func (n *Node) Timer(ctx *netsim.Context, kind int, data interface{}) {
+// Timer dispatches on timer kind. Round timers carry the power of the
+// round that armed them.
+func (n *Node) Timer(ctx *netsim.Context, kind int, v float64) {
 	switch kind {
 	case timerRound:
-		n.onRoundEnd(ctx, data.(float64))
+		n.onRoundEnd(ctx, v)
 	case timerBeacon:
 		n.onBeaconTimer(ctx)
 	case timerLeaveScan:
@@ -191,8 +197,8 @@ func (n *Node) finishGrowing(ctx *netsim.Context) {
 		}
 		// Desynchronize beacons across nodes deterministically.
 		offset := n.cfg.BeaconPeriod * ctx.Rand().Float64()
-		ctx.SetTimer(offset, timerBeacon, nil)
-		ctx.SetTimer(n.cfg.BeaconPeriod+offset, timerLeaveScan, nil)
+		ctx.SetTimer(offset, timerBeacon, 0)
+		ctx.SetTimer(n.cfg.BeaconPeriod+offset, timerLeaveScan, 0)
 	}
 }
 
@@ -200,7 +206,7 @@ func (n *Node) finishGrowing(ctx *netsim.Context) {
 
 func (n *Node) onBeaconTimer(ctx *netsim.Context) {
 	ctx.Broadcast(n.beaconPower(ctx), beaconMsg{})
-	ctx.SetTimer(n.cfg.BeaconPeriod, timerBeacon, nil)
+	ctx.SetTimer(n.cfg.BeaconPeriod, timerBeacon, 0)
 }
 
 // beaconPower applies the configured §4 rule.
@@ -297,7 +303,7 @@ func (n *Node) onLeaveScan(ctx *netsim.Context) {
 	if needRegrow {
 		n.regrow(ctx)
 	}
-	ctx.SetTimer(n.cfg.BeaconPeriod, timerLeaveScan, nil)
+	ctx.SetTimer(n.cfg.BeaconPeriod, timerLeaveScan, 0)
 }
 
 // regrow re-enters the growing phase from p(rad⁻_{u,α}) as §4
@@ -312,11 +318,14 @@ func (n *Node) regrow(ctx *netsim.Context) {
 
 // --- State inspection (used by the runtime and tests) ---
 
+// directions returns the discovered direction set in the node's reusable
+// buffer; the result is only valid until the next directions call.
 func (n *Node) directions() []float64 {
-	out := make([]float64, 0, len(n.discovered))
+	out := n.dirs[:0]
 	for _, d := range n.discovered {
 		out = append(out, d.Dir)
 	}
+	n.dirs = out
 	return out
 }
 

@@ -32,8 +32,8 @@ type Result struct {
 	model radio.Model
 }
 
-func newResult(nodes []Point, m radio.Model, topo *core.Topology) *Result {
-	return newResultWithGR(nodes, m, topo, core.MaxPowerGraph(nodes, m))
+func newResult(nodes []Point, m radio.Model, topo *core.Topology, workers int) *Result {
+	return newResultWithGR(nodes, m, topo, core.MaxPowerGraphParallel(nodes, m, workers))
 }
 
 // newResultWithGR builds a Result against a caller-supplied ground-truth

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cbtc/internal/core"
+	"cbtc/internal/graph"
 	"cbtc/internal/spatial"
 )
 
@@ -23,7 +24,9 @@ var ErrBadEvent = errors.New("cbtc: invalid session event")
 // through its §4 state machine (a leaveᵤ/aChangeᵤ that opens an α-gap
 // means the node must regrow; anything else is an in-place repair),
 // and the affected region is then recomputed to the exact minimal-
-// power fixed point.
+// power fixed point. When the affected region is large, the per-node
+// recomputations are fanned across the engine's worker pool
+// (WithWorkers); the repaired state is identical at every worker count.
 //
 // The maintained fixed point is exact: at any moment the live topology
 // equals what a fresh Engine.Run over the current live placement would
@@ -44,6 +47,18 @@ type Session struct {
 	idx    *spatial.Grid // live nodes only; maintained across events
 	stats  SessionStats
 	cached *Result
+
+	// Incremental-snapshot state, maintained only when the optimization
+	// stack is per-node local (incremental == true, i.e. pairwise removal
+	// is off). Repairs patch exactly the recomputed nodes' arcs; Snapshot
+	// then clones the maintained graphs instead of rebuilding the full
+	// topology and ground-truth G_R from scratch.
+	incremental bool
+	pruned      [][]core.Discovery // per-node neighbor lists after op1/degree pruning
+	nalpha      *graph.Digraph     // pruned directed relation N_α
+	g           *graph.Graph       // its symmetrization per the optimization stack
+	gr          *graph.Graph       // G_R over live nodes; departed nodes isolated
+	grScratch   []int              // reusable max-power neighbor buffer
 }
 
 // SessionStats aggregates the reconfiguration activity a Session has
@@ -74,10 +89,10 @@ type EventReport struct {
 }
 
 // NewSession runs CBTC(α) on the placement and returns a Session
-// maintaining the result under reconfiguration events. Cancelling ctx
-// aborts the initial computation.
+// maintaining the result under reconfiguration events. The initial
+// computation uses the engine's worker pool. Cancelling ctx aborts it.
 func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error) {
-	exec, err := core.RunContext(ctx, nodes, e.model, e.cfg.Alpha)
+	exec, err := core.RunParallel(ctx, nodes, e.model, e.cfg.Alpha, e.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -85,18 +100,58 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 		exec = core.QuantizeTags(exec, e.schedule)
 	}
 	s := &Session{
-		eng:   e,
-		pos:   append([]Point(nil), nodes...),
-		alive: make([]bool, len(nodes)),
-		nodes: exec.Nodes,
-		recs:  make([]*core.Reconfigurator, len(nodes)),
-		idx:   spatial.New(nodes, e.model.MaxRadius),
+		eng:         e,
+		pos:         append([]Point(nil), nodes...),
+		alive:       make([]bool, len(nodes)),
+		nodes:       exec.Nodes,
+		recs:        make([]*core.Reconfigurator, len(nodes)),
+		idx:         spatial.New(nodes, e.model.MaxRadius),
+		incremental: !e.opts.PairwiseRemoval,
 	}
 	for i := range nodes {
 		s.alive[i] = true
 		s.recs[i] = core.NewReconfigurator(e.cfg.Alpha, e.model, exec.Nodes[i].Neighbors)
 	}
+	if s.incremental {
+		n := len(nodes)
+		s.pruned = make([][]core.Discovery, n)
+		workers := core.ResolveWorkers(e.workers, n)
+		// The per-node prune (coverage arithmetic when shrink-back is on)
+		// is embarrassingly parallel, like the oracle itself.
+		if err := core.ParallelRange(ctx, n, workers, func(_, u int) {
+			s.pruned[u] = e.pruneNeighbors(exec.Nodes[u].Neighbors)
+		}); err != nil {
+			return nil, err
+		}
+		s.nalpha = graph.NewDigraph(n)
+		for u := range s.pruned {
+			for _, nb := range s.pruned[u] {
+				s.nalpha.AddArc(u, nb.ID)
+			}
+		}
+		if e.opts.AsymmetricRemoval {
+			s.g = s.nalpha.MutualSubgraph()
+		} else {
+			s.g = s.nalpha.SymmetricClosure()
+		}
+		// Reuse the session's own grid — it indexes exactly these nodes.
+		s.gr = core.MaxPowerGraphParallelIndexed(nodes, e.model, s.idx, e.workers)
+	}
 	return s, nil
+}
+
+// pruneNeighbors applies the engine's per-node-local optimizations in
+// BuildTopology's order: shrink-back (op1), then the non-contributing
+// degree reduction. Pairwise removal is global and never goes through
+// here.
+func (e *Engine) pruneNeighbors(nbrs []core.Discovery) []core.Discovery {
+	if e.opts.ShrinkBack {
+		nbrs = core.ShrinkNeighbors(nbrs, e.cfg.Alpha)
+	}
+	if e.opts.NonContributing {
+		nbrs = core.RemoveNonContributingNeighbors(nbrs, e.cfg.Alpha)
+	}
+	return nbrs
 }
 
 // Join introduces a new node at p — the §4 join scenario. It returns
@@ -111,6 +166,13 @@ func (s *Session) Join(p Point) (int, EventReport) {
 	s.nodes = append(s.nodes, core.NodeResult{})
 	s.recs = append(s.recs, nil)
 	s.idx.Add(id, p)
+	if s.incremental {
+		s.pruned = append(s.pruned, nil)
+		s.nalpha.Grow(1)
+		s.g.Grow(1)
+		s.gr.Grow(1)
+		s.patchGR(id)
+	}
 	s.stats.Joins++
 
 	// The newcomer's beacon is a joinᵤ(id) event at every node that can
@@ -137,6 +199,9 @@ func (s *Session) Leave(id int) (EventReport, error) {
 	}
 	s.alive[id] = false
 	s.idx.Remove(id)
+	if s.incremental {
+		s.gr.IsolateNode(id)
+	}
 	s.stats.Leaves++
 
 	var rep EventReport
@@ -171,6 +236,10 @@ func (s *Session) Move(id int, p Point) (EventReport, error) {
 	old := s.pos[id]
 	s.pos[id] = p
 	s.idx.Move(id, p)
+	if s.incremental {
+		s.gr.IsolateNode(id)
+		s.patchGR(id)
+	}
 	s.stats.Moves++
 
 	var rep EventReport
@@ -207,15 +276,58 @@ func (s *Session) Move(id int, p Point) (EventReport, error) {
 	return rep, nil
 }
 
+// patchGR re-links node id in the maintained ground-truth G_R: an edge
+// to every live node within maximum-power range of its current position,
+// under exactly MaxPowerGraph's distance predicate. The spatial index
+// holds exactly the live nodes, so the incremental graph stays equal to
+// a fresh MaxPowerGraph with departed nodes isolated.
+func (s *Session) patchGR(id int) {
+	s.grScratch = core.AppendMaxPowerNeighbors(s.grScratch[:0], s.pos, s.eng.model, id, s.idx)
+	for _, v := range s.grScratch {
+		s.gr.AddEdge(id, v)
+	}
+}
+
 // Snapshot returns the live topology as a Result — the same artifact
 // Engine.Run produces, over the session's current placement. Departed
 // nodes appear isolated, in both the topology and its ground-truth
 // G_R, so Result.PreservesConnectivity keeps its meaning. Snapshots are
 // cached between events.
+//
+// When the optimization stack is per-node local (pairwise removal off),
+// the snapshot is assembled from the incrementally-maintained graphs —
+// repairs only ever rebuilt the recomputed nodes' arcs — and costs one
+// clone instead of a full topology + G_R rebuild. With pairwise removal
+// (a global transformation) the full rebuild runs as before.
 func (s *Session) Snapshot() (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cached != nil {
+		return s.cached, nil
+	}
+	if s.incremental {
+		exec := &core.Execution{
+			Alpha: s.eng.cfg.Alpha,
+			Model: s.eng.model,
+			Pos:   append([]Point(nil), s.pos...),
+			Nodes: make([]core.NodeResult, len(s.pos)),
+		}
+		for u := range exec.Nodes {
+			exec.Nodes[u] = core.NodeResult{
+				Neighbors: s.pruned[u],
+				GrowPower: s.nodes[u].GrowPower,
+				Boundary:  s.nodes[u].Boundary,
+			}
+		}
+		g := s.g.Clone()
+		topo := &core.Topology{
+			Exec:   exec,
+			Nalpha: s.nalpha.Clone(),
+			G:      g,
+			Gpre:   g, // equal when pairwise removal is off, as in BuildTopology
+			Opts:   s.eng.opts,
+		}
+		s.cached = newResultWithGR(s.pos, s.eng.model, topo, s.gr.Clone())
 		return s.cached, nil
 	}
 	exec := &core.Execution{
@@ -228,7 +340,7 @@ func (s *Session) Snapshot() (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cbtc: session snapshot: %w", err)
 	}
-	gr := core.MaxPowerGraph(s.pos, s.eng.model)
+	gr := core.MaxPowerGraphParallel(s.pos, s.eng.model, s.eng.workers)
 	for u := range s.alive {
 		if !s.alive[u] {
 			gr.IsolateNode(u)
@@ -312,33 +424,131 @@ func (s *Session) withinRange(self int, p Point) []int {
 	return out
 }
 
+// repairParallelMin is the affected-region size below which a repair
+// stays serial: each recomputation costs tens of microseconds, so small
+// regions would lose more to goroutine startup than they win.
+const repairParallelMin = 16
+
+// recomputed is one node's phase-1 output: everything derivable from the
+// read-only session state, computed (possibly concurrently) before the
+// serial phase 2 applies it.
+type recomputed struct {
+	nr     core.NodeResult
+	rec    *core.Reconfigurator
+	pruned []core.Discovery
+}
+
 // recompute rebuilds the exact minimal-power state of every listed node
 // over the current live placement and resets its §4 state machine. It
 // returns the ids actually recomputed (duplicates removed, in input
 // order) and invalidates the snapshot cache.
+//
+// The rebuild runs in two phases. Phase 1 computes each node's new
+// state — the RunNode cone test, its §4 state machine, and the pruned
+// neighbor list — against read-only session state, fanned across the
+// engine's worker pool when the affected region is large (a Move at
+// n=10k touches every node within R of two sites). Phase 2 serially
+// installs the results and patches the recomputed nodes' arcs into the
+// incrementally-maintained topology graphs.
 func (s *Session) recompute(ids []int) []int {
 	seen := make(map[int]bool, len(ids))
 	out := make([]int, 0, len(ids))
+	live := make([]int, 0, len(ids))
 	for _, u := range ids {
 		if seen[u] {
 			continue
 		}
 		seen[u] = true
 		out = append(out, u)
-		if !s.alive[u] {
-			s.nodes[u] = core.NodeResult{}
-			s.recs[u] = nil
-			continue
+		if s.alive[u] {
+			live = append(live, u)
 		}
-		nr := core.RunNode(s.pos, s.alive, s.eng.model, s.eng.cfg.Alpha, u, s.idx)
+	}
+
+	workers := 1
+	if len(live) >= repairParallelMin && s.eng.workers != 1 {
+		workers = core.ResolveWorkers(s.eng.workers, len(live)*parallelGrain)
+	}
+	results := make([]recomputed, len(live))
+	runners := make([]core.NodeRunner, workers)
+	// ctx is inert: repairs are short, lock-held critical sections with
+	// no caller-supplied context to honor.
+	_ = core.ParallelRange(context.Background(), len(live), workers, func(w, i int) {
+		u := live[i]
+		nr := runners[w].RunNode(s.pos, s.alive, s.eng.model, s.eng.cfg.Alpha, u, s.idx)
 		if s.eng.schedule != nil {
 			nr.Neighbors = core.QuantizeNeighbors(nr.Neighbors, s.eng.schedule)
 		}
-		s.nodes[u] = nr
-		s.recs[u] = core.NewReconfigurator(s.eng.cfg.Alpha, s.eng.model, nr.Neighbors)
+		rc := recomputed{
+			nr:  nr,
+			rec: core.NewReconfigurator(s.eng.cfg.Alpha, s.eng.model, nr.Neighbors),
+		}
+		if s.incremental {
+			rc.pruned = s.eng.pruneNeighbors(nr.Neighbors)
+		}
+		results[i] = rc
+	})
+
+	for i, u := range live {
+		s.nodes[u] = results[i].nr
+		s.recs[u] = results[i].rec
+		if s.incremental {
+			s.patchArcs(u, results[i].pruned)
+		}
+	}
+	for _, u := range out {
+		if s.alive[u] {
+			continue
+		}
+		s.nodes[u] = core.NodeResult{}
+		s.recs[u] = nil
+		if s.incremental {
+			s.patchArcs(u, nil)
+		}
 	}
 	s.cached = nil
 	return out
+}
+
+// parallelGrain scales a repair's item count when resolving workers: one
+// RunNode is orders of magnitude more work than one index of the
+// oracle's node range, so ResolveWorkers' stay-serial floor (tuned for
+// the latter) would otherwise keep mid-sized repairs on one core.
+const parallelGrain = 64
+
+// patchArcs replaces node u's outgoing arcs in the maintained N_α with
+// the new pruned neighbor set and patches the symmetric graph edge by
+// edge. Processing every recomputed node once, in any order, leaves both
+// graphs exactly as a from-scratch rebuild over the new state would.
+func (s *Session) patchArcs(u int, pruned []core.Discovery) {
+	mutual := s.eng.opts.AsymmetricRemoval
+	next := make(map[int]bool, len(pruned))
+	for _, nb := range pruned {
+		next[nb.ID] = true
+	}
+	for _, nb := range s.pruned[u] {
+		v := nb.ID
+		if next[v] {
+			continue
+		}
+		s.nalpha.RemoveArc(u, v)
+		// A closure edge survives the arc removal iff the reverse arc
+		// remains; a mutual edge never does.
+		if mutual || !s.nalpha.HasArc(v, u) {
+			s.g.RemoveEdge(u, v)
+		}
+	}
+	for _, nb := range pruned {
+		v := nb.ID
+		if s.nalpha.HasArc(u, v) {
+			continue
+		}
+		s.nalpha.AddArc(u, v)
+		if !mutual || s.nalpha.HasArc(v, u) {
+			s.g.AddEdge(u, v)
+		}
+	}
+	s.pruned[u] = pruned
 }
 
 func (s *Session) checkLive(id int) error {

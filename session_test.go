@@ -54,10 +54,23 @@ func requireSessionMatchesFreshRun(t *testing.T, eng *Engine, s *Session) {
 			t.Fatalf("node %d: session boundary %v, fresh %v", u, snap.Boundary[u], fresh.Boundary[fi])
 		}
 	}
+	// The ground-truth G_R — incrementally maintained since PR 3 — must
+	// match the fresh run's too.
+	for fi, u := range ids {
+		for fj, v := range ids {
+			if snap.GR.HasEdge(u, v) != fresh.GR.HasEdge(fi, fj) {
+				t.Fatalf("GR edge {%d,%d}: session=%v fresh=%v",
+					u, v, snap.GR.HasEdge(u, v), fresh.GR.HasEdge(fi, fj))
+			}
+		}
+	}
 	// Departed nodes must be isolated.
 	for id := 0; id < s.Len(); id++ {
 		if !s.Alive(id) && snap.G.Degree(id) != 0 {
 			t.Fatalf("departed node %d still has %d edges", id, snap.G.Degree(id))
+		}
+		if !s.Alive(id) && snap.GR.Degree(id) != 0 {
+			t.Fatalf("departed node %d still has %d GR edges", id, snap.GR.Degree(id))
 		}
 	}
 }
