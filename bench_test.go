@@ -20,6 +20,7 @@ package cbtc
 import (
 	"context"
 	"runtime"
+	"slices"
 	"testing"
 
 	"cbtc/internal/core"
@@ -464,8 +465,9 @@ func BenchmarkLargeN(b *testing.B) {
 
 		// Incremental Snapshot: one Move then a fresh snapshot per
 		// iteration. Before PR 3 every snapshot rebuilt the full topology
-		// and ground-truth G_R; now it patches the recomputed nodes' arcs
-		// and clones the maintained graphs.
+		// and ground-truth G_R; PR 3 cloned the maintained graphs; since
+		// PR 4 the clones are copy-on-write — O(n) slice-header copies —
+		// so the snapshot cost no longer scales with the edge count.
 		b.Run(sc.Name+"/session-snapshot", func(b *testing.B) {
 			eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
 			if err != nil {
@@ -495,7 +497,169 @@ func BenchmarkLargeN(b *testing.B) {
 				}
 			}
 		})
+
+		// The full-rebuild fallback as the in-run reference: pairwise
+		// removal is a global transformation, so these sessions rebuild
+		// the whole topology and G_R per snapshot — the path every
+		// snapshot took before PR 3. BENCH_PR4.json pins the COW
+		// snapshot's lead over it at n=10000.
+		b.Run(sc.Name+"/session-snapshot-full", func(b *testing.B) {
+			eng, err := New(WithMaxRadius(sc.Radius), WithAllOptimizations())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := eng.NewSession(ctx, pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			rng := workload.Rand(101)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := rng.IntN(len(pos))
+				if !sess.Alive(id) {
+					continue
+				}
+				to := geom.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+				if _, err := sess.Move(id, to); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// The §4 batch shape: one mobility tick moves a cluster of 32
+		// nearby nodes a small step. apply-batch repairs the burst with
+		// one region-union recompute; sequential-moves is the same burst
+		// through 32 single Move calls. BENCH_PR4.json pins the batch's
+		// lead at n=10000.
+		b.Run(sc.Name+"/apply-batch32", func(b *testing.B) {
+			benchMobilityTick(b, sc, pos, func(sess *Session, events []Event) {
+				if _, err := sess.ApplyBatch(events); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+		b.Run(sc.Name+"/sequential-moves32", func(b *testing.B) {
+			benchMobilityTick(b, sc, pos, func(sess *Session, events []Event) {
+				for _, ev := range events {
+					if _, err := sess.Move(ev.ID, ev.Pos); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
+}
+
+// benchMobilityTick drives one correlated-drift tick per iteration: the
+// 32 live nodes nearest a rotating anchor node each jitter by ~R/8,
+// applied through fn (batched or sequential). Both variants see
+// identical event streams.
+func benchMobilityTick(b *testing.B, sc workload.LargeNScenario, pos []Point, fn func(*Session, []Event)) {
+	b.Helper()
+	eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := eng.NewSession(context.Background(), pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := workload.Rand(103)
+	const tickSize = 32
+	type cand struct {
+		id int
+		d2 float64
+	}
+	cands := make([]cand, 0, len(pos))
+	events := make([]Event, 0, tickSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Assemble the tick outside the timer: the cluster around a
+		// random live anchor, each member jittered.
+		var center Point
+		for {
+			id := rng.IntN(sess.Len())
+			if sess.Alive(id) {
+				center = sess.Position(id)
+				break
+			}
+		}
+		cands = cands[:0]
+		for id := 0; id < sess.Len(); id++ {
+			if sess.Alive(id) {
+				cands = append(cands, cand{id, sess.Position(id).Dist2(center)})
+			}
+		}
+		slices.SortFunc(cands, func(a, c cand) int {
+			if a.d2 != c.d2 {
+				if a.d2 < c.d2 {
+					return -1
+				}
+				return 1
+			}
+			return a.id - c.id
+		})
+		n := tickSize
+		if n > len(cands) {
+			n = len(cands)
+		}
+		events = events[:0]
+		jitter := sc.Radius / 8
+		for _, c := range cands[:n] {
+			p := sess.Position(c.id)
+			events = append(events, MoveEvent(c.id, geom.Pt(
+				p.X+rng.Float64()*2*jitter-jitter,
+				p.Y+rng.Float64()*2*jitter-jitter,
+			)))
+		}
+		b.StartTimer()
+		fn(sess, events)
+	}
+	b.ReportMetric(float64(tickSize), "moves/tick")
+}
+
+// BenchmarkGraphClone isolates the substrate win: a copy-on-write clone
+// of the n=10k maximum-power graph (O(n) slice-header copies) against a
+// fully materialized deep copy (O(E) arena copy) — the cheapest possible
+// version of what the map-based representation paid on every snapshot.
+// BENCH_PR4.json pins the COW/deep ratio.
+func BenchmarkGraphClone(b *testing.B) {
+	var sc workload.LargeNScenario
+	for _, s := range workload.LargeN() {
+		if s.N == 10000 && s.Kind == "uniform" {
+			sc = s
+		}
+	}
+	if sc.N == 0 {
+		b.Fatal("missing uniform n=10000 scenario")
+	}
+	pos := sc.Placement(7)
+	gr := core.MaxPowerGraph(pos, radio.Default(sc.Radius))
+	b.Run("cow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if gr.Clone().Len() != sc.N {
+				b.Fatal("bad clone")
+			}
+		}
+	})
+	b.Run("deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if gr.CloneDeep().Len() != sc.N {
+				b.Fatal("bad clone")
+			}
+		}
+	})
 }
 
 func benchName(k string, v int) string {

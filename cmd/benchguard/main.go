@@ -54,11 +54,31 @@ type Report struct {
 	// Ratios are required speedups between two benchmarks of the same
 	// run. Only read from baselines.
 	Ratios []RatioCheck `json:"ratios,omitempty"`
+	// Improvements are required speedups of the current run against a
+	// frozen measurement from an earlier PR's baseline (carried inside
+	// this baseline as BaselineNS). They encode "this PR's win must not
+	// erode" where no same-run reference benchmark exists. Only read
+	// from baselines.
+	Improvements []ImprovementCheck `json:"improvements,omitempty"`
 	// AllocCeilings and ByteCeilings cap the current run's allocs/op and
 	// B/op per benchmark. Only read from baselines; they encode "the
 	// allocation win must not erode" as a hard machine-independent gate.
 	AllocCeilings map[string]float64 `json:"alloc_ceilings,omitempty"`
 	ByteCeilings  map[string]float64 `json:"byte_ceilings,omitempty"`
+}
+
+// ImprovementCheck requires BaselineNS / current[Bench] ≥ Min: the
+// current run must stay at least Min× faster than a measurement frozen
+// from an earlier PR (e.g. the PR 4 COW snapshot against the PR 3
+// full-clone snapshot time). Like the absolute gates it assumes the CI
+// runner class; regenerate BaselineNS alongside the baseline when the
+// runner changes.
+type ImprovementCheck struct {
+	Bench      string  `json:"bench"`
+	BaselineNS float64 `json:"baseline_ns"`
+	Min        float64 `json:"min"`
+	// Note is free-form provenance for the frozen measurement.
+	Note string `json:"note,omitempty"`
 }
 
 // RatioCheck requires Slow/Fast ≥ Min in the current run — e.g. the
@@ -252,13 +272,28 @@ func runCheck(basePath, curPath string, tolOverride float64) error {
 			fmt.Printf("ok       ratio %s / %s = %.1fx (>= %.1fx)\n", rc.Slow, rc.Fast, slow/fast, rc.Min)
 		}
 	}
+	for _, ic := range base.Improvements {
+		got, ok := cur.Benchmarks[ic.Bench]
+		switch {
+		case !ok:
+			fmt.Printf("MISSING  improvement %s: benchmark absent from current run\n", ic.Bench)
+			failures++
+		case got <= 0 || ic.BaselineNS/got < ic.Min:
+			fmt.Printf("IMPROVE  %s = %.1fx over frozen %.0f ns/op, need >= %.1fx\n",
+				ic.Bench, ic.BaselineNS/got, ic.BaselineNS, ic.Min)
+			failures++
+		default:
+			fmt.Printf("ok       improvement %s = %.1fx over frozen %.0f ns/op (>= %.1fx)\n",
+				ic.Bench, ic.BaselineNS/got, ic.BaselineNS, ic.Min)
+		}
+	}
 	failures += checkCeilings("allocs/op", base.AllocCeilings, cur.Allocs)
 	failures += checkCeilings("B/op", base.ByteCeilings, cur.Bytes)
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark check(s) failed", failures)
 	}
-	fmt.Printf("all %d tracked benchmarks, %d ratios and %d ceilings within tolerance\n",
-		len(names), len(base.Ratios), len(base.AllocCeilings)+len(base.ByteCeilings))
+	fmt.Printf("all %d tracked benchmarks, %d ratios, %d improvements and %d ceilings within tolerance\n",
+		len(names), len(base.Ratios), len(base.Improvements), len(base.AllocCeilings)+len(base.ByteCeilings))
 	return nil
 }
 

@@ -121,7 +121,10 @@ func runProto(s *scenario.Scenario) {
 
 // runSession replays the scenario through the public Session API: the
 // oracle-level §4 reconfiguration with incremental repair, no message
-// passing.
+// passing. Events between checkpoints are coalesced into one
+// Session.ApplyBatch call — the timeline only observes the topology at
+// checkpoints, so each inter-checkpoint burst repairs as a single
+// region-union recompute.
 func runSession(s *scenario.Scenario) {
 	nodes := make([]cbtc.Point, len(s.Nodes))
 	for i, xy := range s.Nodes {
@@ -157,21 +160,27 @@ func runSession(s *scenario.Scenario) {
 		return ok
 	}
 
+	var pending []cbtc.Event
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if _, err := sess.ApplyBatch(pending); err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
+		pending = pending[:0]
+	}
 	for _, ev := range s.SortedEvents() {
 		switch ev.Op {
 		case scenario.OpCrash:
-			if _, err := sess.Leave(ev.Node); err != nil {
-				fmt.Fprintln(os.Stderr, "dynsim:", err)
-				os.Exit(1)
-			}
+			pending = append(pending, cbtc.LeaveEvent(ev.Node))
 		case scenario.OpMove:
-			if _, err := sess.Move(ev.Node, cbtc.Pt(ev.X, ev.Y)); err != nil {
-				fmt.Fprintln(os.Stderr, "dynsim:", err)
-				os.Exit(1)
-			}
+			pending = append(pending, cbtc.MoveEvent(ev.Node, cbtc.Pt(ev.X, ev.Y)))
 		case scenario.OpAdd:
-			sess.Join(cbtc.Pt(ev.X, ev.Y))
+			pending = append(pending, cbtc.JoinEvent(cbtc.Pt(ev.X, ev.Y)))
 		case scenario.OpCheck:
+			flush()
 			if !check(ev.At, ev.Label) {
 				fmt.Print(tb.String())
 				fmt.Fprintln(os.Stderr, "dynsim: CHECKPOINT LOST THE GROUND-TRUTH PARTITION")
@@ -179,6 +188,7 @@ func runSession(s *scenario.Scenario) {
 			}
 		}
 	}
+	flush()
 	finalOK := check(-1, "final")
 	fmt.Print(tb.String())
 

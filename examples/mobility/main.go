@@ -78,6 +78,22 @@ func main() {
 	fmt.Printf("  node %d joined, repairing %d nodes\n", id, len(rep.Recomputed))
 	report("after reinforcement joins:")
 
+	// A mobility tick: the whole east town drifts north together. Bursts
+	// of correlated moves are the batch API's shape — ApplyBatch applies
+	// every event, unions the affected regions, and repairs the union
+	// with one recompute instead of one per move.
+	batch, err := sess.ApplyBatch([]cbtc.Event{
+		cbtc.MoveEvent(4, cbtc.Pt(950, 60)),
+		cbtc.MoveEvent(5, cbtc.Pt(1050, 180)),
+		cbtc.MoveEvent(6, cbtc.Pt(900, 240)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  east-town drift batch repaired %d nodes once (%d regrows, %d angle changes)\n",
+		len(batch.Recomputed), batch.Regrows, batch.AngleChanges)
+	report("after east town drifts:")
+
 	st := sess.Stats()
 	fmt.Printf("\nreconfiguration events: %d joins, %d leaves, %d moves, %d angle changes, %d regrows, %d repairs\n",
 		st.Joins, st.Leaves, st.Moves, st.AngleChanges, st.Regrows, st.Repairs)

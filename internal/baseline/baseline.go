@@ -53,19 +53,22 @@ func (ix *Index) within(p geom.Point, rad float64) []int {
 
 // MaxPowerGraph returns G_R over the index's placement — every pair at
 // distance ≤ r — for callers that want the ground truth from the same
-// shared accelerator.
+// shared accelerator. The grid returns candidates ascending, so the
+// per-node half rows feed the packed arena bulk constructor directly.
 func (ix *Index) MaxPowerGraph() *graph.Graph {
 	n := len(ix.pos)
-	g := graph.New(n)
+	rows := make([][]int32, n)
 	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
+		var row []int32
 		for _, v := range ix.within(ix.pos[u], ix.r) {
 			if v > u && ix.pos[u].Dist2(ix.pos[v]) <= r2*(1+1e-12) {
-				g.AddEdge(u, v)
+				row = append(row, int32(v))
 			}
 		}
+		rows[u] = row
 	}
-	return g
+	return graph.NewFromHalfRows(rows)
 }
 
 // RNG returns the relative neighborhood graph over G_R: the edge {u,v}

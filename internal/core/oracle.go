@@ -269,30 +269,37 @@ func MaxPowerGraph(pos []geom.Point, m radio.Model) *graph.Graph {
 // MaxPowerGraphIndexed is MaxPowerGraph over a caller-supplied candidate
 // index (nil falls back to the naive all-pairs scan). The edge set is
 // identical on both paths: the index pre-filters and the exact distance
-// predicate decides.
+// predicate decides. Both paths emit per-node ascending half rows, so
+// the graph is bulk-built into one packed arena instead of edge by edge.
 func MaxPowerGraphIndexed(pos []geom.Point, m radio.Model, idx Index) *graph.Graph {
-	g := graph.New(len(pos))
+	rows := make([][]int32, len(pos))
 	rr, _ := maxPowerRadii(m)
 	if idx == nil {
 		for u := 0; u < len(pos); u++ {
+			var row []int32
 			for v := u + 1; v < len(pos); v++ {
 				if pos[u].Dist(pos[v]) <= rr {
-					g.AddEdge(u, v)
+					row = append(row, int32(v))
 				}
 			}
+			rows[u] = row
 		}
-		return g
+		return graph.NewFromHalfRows(rows)
 	}
 	var scratch []int
 	for u := 0; u < len(pos); u++ {
+		// The grid returns ascending ids, so the v > u filter keeps the
+		// half row sorted by construction.
 		scratch = appendMaxPowerNeighbors(scratch[:0], pos, m, u, idx)
+		var row []int32
 		for _, v := range scratch {
 			if v > u {
-				g.AddEdge(u, v)
+				row = append(row, int32(v))
 			}
 		}
+		rows[u] = row
 	}
-	return g
+	return graph.NewFromHalfRows(rows)
 }
 
 // MaxPowerGraphParallel is MaxPowerGraph with the per-node radius queries
@@ -328,13 +335,9 @@ func MaxPowerGraphParallelIndexed(pos []geom.Point, m radio.Model, idx Index, wo
 		}
 		rows[u] = row
 	})
-	g := graph.New(len(pos))
-	for u, row := range rows {
-		for _, v := range row {
-			g.AddEdge(u, int(v))
-		}
-	}
-	return g
+	// The parallel gather produced exactly the ascending half rows the
+	// packed bulk constructor wants; assembly is one serial arena fill.
+	return graph.NewFromHalfRows(rows)
 }
 
 // AppendMaxPowerNeighbors appends the ids of indexed nodes within

@@ -88,6 +88,11 @@ func (a EdgeID) Less(b EdgeID) bool {
 // it (served as the apex u of Definition 3.5).
 type redundancy struct {
 	edges map[graph.Edge]bool
+	// list holds the redundant edges in canonical detection order — apex
+	// id ascending, then the apex's ascending neighbor row. The removal
+	// passes iterate list, never the map, so removal decisions and the
+	// reported edge order are order-stable by construction.
+	list []graph.Edge
 	// atApex[u] holds the neighbors v for which u detected (u,v) as
 	// redundant.
 	atApex []map[int]bool
@@ -106,16 +111,22 @@ func redundantEdges(g *graph.Graph, pos []geom.Point) redundancy {
 	const third = math.Pi / 3
 	for u := 0; u < g.Len(); u++ {
 		red.atApex[u] = make(map[int]bool)
-		nbrs := g.Neighbors(u)
-		for _, v := range nbrs {
+		nbrs := g.Row(u)
+		for _, v32 := range nbrs {
+			v := int(v32)
 			eidUV := edgeID(pos, u, v)
-			for _, w := range nbrs {
+			for _, w32 := range nbrs {
+				w := int(w32)
 				if w == v {
 					continue
 				}
 				angle := geom.AngularDist(pos[u].Bearing(pos[v]), pos[u].Bearing(pos[w]))
 				if angle < third-geom.Eps && edgeID(pos, u, w).Less(eidUV) {
-					red.edges[graph.NewEdge(u, v)] = true
+					e := graph.NewEdge(u, v)
+					if !red.edges[e] {
+						red.edges[e] = true
+						red.list = append(red.list, e)
+					}
 					red.atApex[u][v] = true
 					break
 				}
@@ -140,7 +151,7 @@ func PairwiseRemoval(g *graph.Graph, pos []geom.Point, policy PairwisePolicy) (*
 	var removed []graph.Edge
 
 	if policy == PairwiseRemoveAll {
-		for e := range red.edges {
+		for _, e := range red.list {
 			out.RemoveEdge(e.U, e.V)
 			removed = append(removed, e)
 		}
@@ -165,7 +176,7 @@ func PairwiseRemoval(g *graph.Graph, pos []geom.Point, policy PairwisePolicy) (*
 	benefits := func(u int, d float64) bool {
 		return longestNR[u] > 0 && d > longestNR[u]
 	}
-	for e := range red.edges {
+	for _, e := range red.list {
 		d := pos[e.U].Dist(pos[e.V])
 		var drop bool
 		switch policy {

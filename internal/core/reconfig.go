@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"cbtc/internal/geom"
 	"cbtc/internal/radio"
@@ -37,37 +37,79 @@ func (a Action) String() string {
 // aChangeᵤ(v) events detected by the Neighbor Discovery Protocol, and
 // tells the protocol when a full regrow is needed.
 //
-// The Reconfigurator is not safe for concurrent use; the discrete-event
-// simulator serializes all events of a node.
+// The neighbor set is a compact id-sorted slice (neighbor counts are
+// small and sessions build one machine per recomputed node, so the
+// slice beats a map on both allocation and iteration order — every
+// derived list is deterministic by construction). The Reconfigurator is
+// not safe for concurrent use; the discrete-event simulator serializes
+// all events of a node.
 type Reconfigurator struct {
-	alpha     float64
-	model     radio.Model
-	neighbors map[int]Discovery
+	alpha float64
+	model radio.Model
+	nbrs  []Discovery // current neighbor set, ascending ID
+	dirs  []float64   // scratch: sorted direction set for gap tests
+	dist  []Discovery // scratch: shrink's farthest-first order
 }
 
 // NewReconfigurator builds the state machine from the node's CBTC
-// result.
+// result. The initial list is copied, never retained, so callers may
+// pass a reused buffer.
 func NewReconfigurator(alpha float64, model radio.Model, initial []Discovery) *Reconfigurator {
 	r := &Reconfigurator{
-		alpha:     alpha,
-		model:     model,
-		neighbors: make(map[int]Discovery, len(initial)),
+		alpha: alpha,
+		model: model,
+		nbrs:  make([]Discovery, 0, len(initial)),
 	}
 	for _, d := range initial {
-		r.neighbors[d.ID] = d
+		r.set(d)
 	}
 	return r
+}
+
+// find returns the position of id in the sorted neighbor slice.
+func (r *Reconfigurator) find(id int) (int, bool) {
+	return slices.BinarySearchFunc(r.nbrs, id, func(d Discovery, id int) int {
+		return d.ID - id
+	})
+}
+
+// set inserts d, replacing any existing entry with the same ID.
+func (r *Reconfigurator) set(d Discovery) {
+	i, ok := r.find(d.ID)
+	if ok {
+		r.nbrs[i] = d
+		return
+	}
+	r.nbrs = slices.Insert(r.nbrs, i, d)
+}
+
+// sortedDirs fills the reusable direction scratch with the current
+// bearings in ascending (normalized) order, ready for HasGapSorted.
+func (r *Reconfigurator) sortedDirs() []float64 {
+	out := r.dirs[:0]
+	for _, d := range r.nbrs {
+		out = geom.InsertSorted(out, d.Dir)
+	}
+	r.dirs = out
+	return out
+}
+
+// hasGap is the §4 gap-α test over the current neighbor set, run on the
+// reusable sorted scratch instead of MaxGap's per-call sort copy.
+func (r *Reconfigurator) hasGap() bool {
+	return geom.HasGapSorted(r.sortedDirs(), r.alpha)
 }
 
 // Leave handles a leaveᵤ(v) event: v's beacons stopped. If dropping v
 // opens an α-gap the node must regrow (the paper restarts CBTC from
 // p(rad⁻_{u,α}) rather than from p₀).
 func (r *Reconfigurator) Leave(id int) Action {
-	if _, ok := r.neighbors[id]; !ok {
+	i, ok := r.find(id)
+	if !ok {
 		return ActionNone
 	}
-	delete(r.neighbors, id)
-	if geom.HasGap(r.Directions(), r.alpha) {
+	r.nbrs = slices.Delete(r.nbrs, i, i+1)
+	if r.hasGap() {
 		return ActionRegrow
 	}
 	return ActionNone
@@ -78,7 +120,7 @@ func (r *Reconfigurator) Leave(id int) Action {
 // operation — removes the farthest neighbors whose removal leaves the
 // coverage unchanged.
 func (r *Reconfigurator) Join(d Discovery) Action {
-	r.neighbors[d.ID] = d
+	r.set(d)
 	r.shrink()
 	return ActionNone
 }
@@ -87,13 +129,12 @@ func (r *Reconfigurator) Join(d Discovery) Action {
 // new direction set has an α-gap the node regrows; otherwise it shrinks
 // as after a join.
 func (r *Reconfigurator) AngleChange(id int, newDir float64) Action {
-	d, ok := r.neighbors[id]
+	i, ok := r.find(id)
 	if !ok {
 		return ActionNone
 	}
-	d.Dir = geom.Normalize(newDir)
-	r.neighbors[id] = d
-	if geom.HasGap(r.Directions(), r.alpha) {
+	r.nbrs[i].Dir = geom.Normalize(newDir)
+	if r.hasGap() {
 		return ActionRegrow
 	}
 	r.shrink()
@@ -102,14 +143,28 @@ func (r *Reconfigurator) AngleChange(id int, newDir float64) Action {
 
 // shrink removes neighbors farthest-first while coverage is unchanged,
 // stopping at the first neighbor whose removal would reduce coverage.
+// Candidates are ordered by (distance descending, id ascending) — a
+// total order, so removal decisions are deterministic.
 func (r *Reconfigurator) shrink() {
-	list := r.Neighbors()
-	sort.Slice(list, func(i, j int) bool { return list[i].Dist > list[j].Dist })
-	full := geom.Coverage(r.Directions(), r.alpha)
-	for _, d := range list {
-		delete(r.neighbors, d.ID)
-		if !geom.Coverage(r.Directions(), r.alpha).Equal(full, 10*geom.Eps) {
-			r.neighbors[d.ID] = d // removal changed coverage: keep and stop
+	r.dist = append(r.dist[:0], r.nbrs...)
+	slices.SortFunc(r.dist, func(a, b Discovery) int {
+		if a.Dist != b.Dist {
+			if a.Dist > b.Dist {
+				return -1
+			}
+			return 1
+		}
+		return a.ID - b.ID
+	})
+	full := geom.Coverage(r.sortedDirs(), r.alpha)
+	for _, d := range r.dist {
+		i, ok := r.find(d.ID)
+		if !ok {
+			continue
+		}
+		r.nbrs = slices.Delete(r.nbrs, i, i+1)
+		if !geom.Coverage(r.sortedDirs(), r.alpha).Equal(full, 10*geom.Eps) {
+			r.set(d) // removal changed coverage: keep and stop
 			return
 		}
 	}
@@ -117,40 +172,33 @@ func (r *Reconfigurator) shrink() {
 
 // Neighbors returns the current neighbor set sorted by ID.
 func (r *Reconfigurator) Neighbors() []Discovery {
-	out := make([]Discovery, 0, len(r.neighbors))
-	for _, d := range r.neighbors {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return slices.Clone(r.nbrs)
 }
 
 // Has reports whether id is currently a neighbor.
 func (r *Reconfigurator) Has(id int) bool {
-	_, ok := r.neighbors[id]
+	_, ok := r.find(id)
 	return ok
 }
 
-// Directions returns the current direction set.
+// Directions returns the current direction set, in neighbor-id order.
 func (r *Reconfigurator) Directions() []float64 {
-	out := make([]float64, 0, len(r.neighbors))
-	for _, d := range r.neighbors {
-		out = append(out, d.Dir)
+	out := make([]float64, len(r.nbrs))
+	for i, d := range r.nbrs {
+		out[i] = d.Dir
 	}
 	return out
 }
 
 // HasGap reports whether the current direction set leaves an α-gap.
-func (r *Reconfigurator) HasGap() bool {
-	return geom.HasGap(r.Directions(), r.alpha)
-}
+func (r *Reconfigurator) HasGap() bool { return r.hasGap() }
 
 // RegrowStartPower returns p(rad⁻_{u,α}) for the current neighbor set —
 // the power the paper restarts the growing phase from. With no neighbors
 // it falls back to a small fraction of maximum power.
 func (r *Reconfigurator) RegrowStartPower() float64 {
 	var maxDist float64
-	for _, d := range r.neighbors {
+	for _, d := range r.nbrs {
 		if d.Dist > maxDist {
 			maxDist = d.Dist
 		}

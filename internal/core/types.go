@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"cbtc/internal/geom"
 	"cbtc/internal/graph"
@@ -107,15 +108,27 @@ type Execution struct {
 func (e *Execution) Len() int { return len(e.Pos) }
 
 // Nalpha returns the directed neighbor relation
-// N_α = {(u,v) : v ∈ N_α(u)}.
+// N_α = {(u,v) : v ∈ N_α(u)}, bulk-built into one packed arena: each
+// node's (Power, Dist, ID)-ordered discovery list is re-sorted by id
+// into its successor row.
 func (e *Execution) Nalpha() *graph.Digraph {
-	d := graph.NewDigraph(e.Len())
+	rows := make([][]int32, e.Len())
 	for u := range e.Nodes {
-		for _, nb := range e.Nodes[u].Neighbors {
-			d.AddArc(u, nb.ID)
-		}
+		rows[u] = SuccessorRow(nil, e.Nodes[u].Neighbors)
 	}
-	return d
+	return graph.NewDigraphFromRows(rows)
+}
+
+// SuccessorRow fills dst (a reused buffer, passed as dst[:0] or nil)
+// with the neighbor ids of a discovery list in ascending order — the
+// packed-digraph row for that node. Sessions use it to rebuild a
+// repaired node's N_α row from its pruned neighbor set.
+func SuccessorRow(dst []int32, nbrs []Discovery) []int32 {
+	for _, nb := range nbrs {
+		dst = append(dst, int32(nb.ID))
+	}
+	slices.Sort(dst)
+	return dst
 }
 
 // Clone returns a deep copy of the execution. Transformations return

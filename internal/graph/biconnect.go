@@ -16,10 +16,12 @@ func ArticulationPoints(g *Graph) []int {
 	}
 	timer := 0
 
-	// Iterative DFS to survive deep graphs without recursion limits.
+	// Iterative DFS to survive deep graphs without recursion limits. The
+	// packed rows are stable while the graph is unmutated, so frames
+	// borrow them directly instead of copying neighbor lists.
 	type frame struct {
 		u     int
-		nbrs  []int
+		nbrs  []int32
 		index int
 	}
 	for start := 0; start < n; start++ {
@@ -28,12 +30,12 @@ func ArticulationPoints(g *Graph) []int {
 		}
 		timer++
 		disc[start], low[start] = timer, timer
-		stack := []frame{{u: start, nbrs: g.Neighbors(start)}}
+		stack := []frame{{u: start, nbrs: g.Row(start)}}
 		rootChildren := 0
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.index < len(f.nbrs) {
-				v := f.nbrs[f.index]
+				v := int(f.nbrs[f.index])
 				f.index++
 				switch {
 				case disc[v] == 0:
@@ -43,7 +45,7 @@ func ArticulationPoints(g *Graph) []int {
 					}
 					timer++
 					disc[v], low[v] = timer, timer
-					stack = append(stack, frame{u: v, nbrs: g.Neighbors(v)})
+					stack = append(stack, frame{u: v, nbrs: g.Row(v)})
 				case v != parent[f.u]:
 					if disc[v] < low[f.u] {
 						low[f.u] = disc[v]

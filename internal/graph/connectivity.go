@@ -20,12 +20,12 @@ func Components(g *Graph) []int {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			g.EachNeighbor(u, func(v int) {
+			for _, v := range g.Row(u) {
 				if comp[v] == -1 {
 					comp[v] = next
-					stack = append(stack, v)
+					stack = append(stack, int(v))
 				}
-			})
+			}
 		}
 		next++
 	}
@@ -94,11 +94,11 @@ func PreservesConnectivity(base, sub *Graph) bool {
 func unionFindOf(g *Graph) *UnionFind {
 	uf := NewUnionFind(g.Len())
 	for u := 0; u < g.Len(); u++ {
-		g.EachNeighbor(u, func(v int) {
-			if u < v {
-				uf.Union(u, v)
+		for _, v := range g.Row(u) {
+			if u < int(v) {
+				uf.Union(u, int(v))
 			}
-		})
+		}
 	}
 	return uf
 }

@@ -2,31 +2,72 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Digraph is a directed simple graph over nodes 0..N-1. It represents
 // the asymmetric neighbor relation N_α = {(u,v) : v ∈ N_α(u)} computed
-// by CBTC before any symmetrization.
+// by CBTC before any symmetrization. Like Graph it stores packed sorted
+// successor rows with copy-on-write clones; see the package comment.
 type Digraph struct {
-	n   int
-	out []map[int]struct{}
+	n      int
+	arcs   int       // cached arc count
+	out    [][]int32 // per-node sorted successor rows
+	shared []bool    // see Graph.shared
 }
 
 // NewDigraph returns an empty directed graph with n nodes.
 func NewDigraph(n int) *Digraph {
-	if n < 0 {
-		panic(fmt.Sprintf("graph: negative node count %d", n))
+	checkNodeCount(n)
+	return &Digraph{
+		n:      n,
+		out:    make([][]int32, n),
+		shared: make([]bool, n),
 	}
-	out := make([]map[int]struct{}, n)
-	for i := range out {
-		out[i] = make(map[int]struct{})
+}
+
+// NewDigraphFromRows builds a digraph from per-node successor rows
+// packed into one shared arena. rows[u] must be strictly ascending,
+// in-range, and free of self-loops; the rows are copied, not retained.
+func NewDigraphFromRows(rows [][]int32) *Digraph {
+	n := len(rows)
+	checkNodeCount(n)
+	total := 0
+	for u, row := range rows {
+		for i, v := range row {
+			if int(v) < 0 || int(v) >= n || int(v) == u || (i > 0 && row[i-1] >= v) {
+				panic(fmt.Sprintf("graph: successor row %d invalid at %d", u, v))
+			}
+		}
+		total += len(row)
 	}
-	return &Digraph{n: n, out: out}
+	arena := make([]int32, 0, total)
+	d := &Digraph{
+		n:      n,
+		arcs:   total,
+		out:    make([][]int32, n),
+		shared: make([]bool, n),
+	}
+	for u, row := range rows {
+		start := len(arena)
+		arena = append(arena, row...)
+		d.out[u] = arena[start:len(arena):len(arena)]
+	}
+	return d
 }
 
 // Len returns the number of nodes.
 func (d *Digraph) Len() int { return d.n }
+
+// owned returns node u's row ready for in-place mutation, copying it
+// first if a clone may still reference the storage.
+func (d *Digraph) owned(u int) []int32 {
+	if d.shared[u] {
+		d.out[u] = slices.Clone(d.out[u])
+		d.shared[u] = false
+	}
+	return d.out[u]
+}
 
 // AddArc inserts the directed edge u→v. Self-loops are ignored.
 func (d *Digraph) AddArc(u, v int) {
@@ -35,22 +76,32 @@ func (d *Digraph) AddArc(u, v int) {
 	if u == v {
 		return
 	}
-	d.out[u][v] = struct{}{}
+	i, found := slices.BinarySearch(d.out[u], int32(v))
+	if found {
+		return
+	}
+	d.out[u] = slices.Insert(d.owned(u), i, int32(v))
+	d.arcs++
 }
 
 // RemoveArc deletes the directed edge u→v if present.
 func (d *Digraph) RemoveArc(u, v int) {
 	d.check(u)
 	d.check(v)
-	delete(d.out[u], v)
+	i, found := slices.BinarySearch(d.out[u], int32(v))
+	if !found {
+		return
+	}
+	d.out[u] = slices.Delete(d.owned(u), i, i+1)
+	d.arcs--
 }
 
 // HasArc reports whether the directed edge u→v is present.
 func (d *Digraph) HasArc(u, v int) bool {
 	d.check(u)
 	d.check(v)
-	_, ok := d.out[u][v]
-	return ok
+	_, found := slices.BinarySearch(d.out[u], int32(v))
+	return found
 }
 
 // OutDegree returns the number of outgoing edges of u.
@@ -59,25 +110,27 @@ func (d *Digraph) OutDegree(u int) int {
 	return len(d.out[u])
 }
 
-// Successors returns the sorted list of v with u→v.
+// Row returns node u's successor row: ascending node ids, backed by the
+// digraph's internal storage. The caller must not mutate it, and the
+// row is only valid until the digraph's next mutation.
+func (d *Digraph) Row(u int) []int32 {
+	d.check(u)
+	return d.out[u]
+}
+
+// Successors returns the sorted list of v with u→v as a fresh slice.
 func (d *Digraph) Successors(u int) []int {
 	d.check(u)
-	out := make([]int, 0, len(d.out[u]))
-	for v := range d.out[u] {
-		out = append(out, v)
+	row := d.out[u]
+	out := make([]int, len(row))
+	for i, v := range row {
+		out[i] = int(v)
 	}
-	sort.Ints(out)
 	return out
 }
 
 // ArcCount returns the number of directed edges.
-func (d *Digraph) ArcCount() int {
-	total := 0
-	for _, m := range d.out {
-		total += len(m)
-	}
-	return total
-}
+func (d *Digraph) ArcCount() int { return d.arcs }
 
 // SymmetricClosure returns the smallest symmetric (undirected) graph
 // containing every arc: {u,v} is an edge iff u→v or v→u. This is the
@@ -85,8 +138,8 @@ func (d *Digraph) ArcCount() int {
 func (d *Digraph) SymmetricClosure() *Graph {
 	g := New(d.n)
 	for u := 0; u < d.n; u++ {
-		for v := range d.out[u] {
-			g.AddEdge(u, v)
+		for _, v := range d.out[u] {
+			g.AddEdge(u, int(v))
 		}
 	}
 	return g
@@ -98,9 +151,9 @@ func (d *Digraph) SymmetricClosure() *Graph {
 func (d *Digraph) MutualSubgraph() *Graph {
 	g := New(d.n)
 	for u := 0; u < d.n; u++ {
-		for v := range d.out[u] {
-			if u < v && d.HasArc(v, u) {
-				g.AddEdge(u, v)
+		for _, v := range d.out[u] {
+			if u < int(v) && d.HasArc(int(v), u) {
+				g.AddEdge(u, int(v))
 			}
 		}
 	}
@@ -108,23 +161,18 @@ func (d *Digraph) MutualSubgraph() *Graph {
 }
 
 // AsymmetricArcs returns every arc u→v whose reverse v→u is absent, in
-// canonical order. These are the arcs the asymmetric-removal protocol
+// canonical order (ascending U, then V — which the sorted rows yield by
+// construction). These are the arcs the asymmetric-removal protocol
 // message ("remove me from your neighbor set") travels along.
 func (d *Digraph) AsymmetricArcs() []Edge {
 	var arcs []Edge
 	for u := 0; u < d.n; u++ {
-		for v := range d.out[u] {
-			if !d.HasArc(v, u) {
-				arcs = append(arcs, Edge{U: u, V: v}) // directed: U→V
+		for _, v := range d.out[u] {
+			if !d.HasArc(int(v), u) {
+				arcs = append(arcs, Edge{U: u, V: int(v)}) // directed: U→V
 			}
 		}
 	}
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].U != arcs[j].U {
-			return arcs[i].U < arcs[j].U
-		}
-		return arcs[i].V < arcs[j].V
-	})
 	return arcs
 }
 
@@ -133,21 +181,60 @@ func (d *Digraph) Grow(k int) {
 	if k < 0 {
 		panic(fmt.Sprintf("graph: negative growth %d", k))
 	}
-	for i := 0; i < k; i++ {
-		d.out = append(d.out, make(map[int]struct{}))
-	}
+	checkNodeCount(d.n + k)
+	d.out = append(d.out, make([][]int32, k)...)
+	d.shared = append(d.shared, make([]bool, k)...)
 	d.n += k
 }
 
-// Clone returns a deep copy.
+// Clone returns a copy-on-write clone sharing every successor row until
+// one side mutates it; see Graph.Clone for the sharing contract (Clone
+// counts as a mutation of the original for concurrency purposes).
 func (d *Digraph) Clone() *Digraph {
-	c := NewDigraph(d.n)
-	for u := 0; u < d.n; u++ {
-		for v := range d.out[u] {
-			c.out[u][v] = struct{}{}
-		}
+	for i := range d.shared {
+		d.shared[i] = true
+	}
+	c := &Digraph{
+		n:      d.n,
+		arcs:   d.arcs,
+		out:    slices.Clone(d.out),
+		shared: make([]bool, d.n),
+	}
+	for i := range c.shared {
+		c.shared[i] = true
 	}
 	return c
+}
+
+// CloneDeep returns a fully materialized copy sharing no storage with
+// the original; the reference for tests and clone benchmarks.
+func (d *Digraph) CloneDeep() *Digraph {
+	arena := make([]int32, 0, d.arcs)
+	c := &Digraph{
+		n:      d.n,
+		arcs:   d.arcs,
+		out:    make([][]int32, d.n),
+		shared: make([]bool, d.n),
+	}
+	for u := 0; u < d.n; u++ {
+		start := len(arena)
+		arena = append(arena, d.out[u]...)
+		c.out[u] = arena[start:len(arena):len(arena)]
+	}
+	return c
+}
+
+// Equal reports whether two digraphs have identical node and arc sets.
+func (d *Digraph) Equal(o *Digraph) bool {
+	if d.n != o.n || d.arcs != o.arcs {
+		return false
+	}
+	for u := 0; u < d.n; u++ {
+		if !slices.Equal(d.out[u], o.out[u]) {
+			return false
+		}
+	}
+	return true
 }
 
 func (d *Digraph) check(u int) {

@@ -32,11 +32,11 @@ func MaxDegree(g *Graph) int {
 // Isolated nodes have radius 0.
 func NodeRadius(g *Graph, pos []geom.Point, u int) float64 {
 	var r float64
-	g.EachNeighbor(u, func(v int) {
+	for _, v := range g.Row(u) {
 		if d := pos[u].Dist(pos[v]); d > r {
 			r = d
 		}
-	})
+	}
 	return r
 }
 

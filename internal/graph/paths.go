@@ -17,12 +17,12 @@ func HopDistances(g *Graph, src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		g.EachNeighbor(u, func(v int) {
+		for _, v := range g.Row(u) {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
-				queue = append(queue, v)
+				queue = append(queue, int(v))
 			}
-		})
+		}
 	}
 	return dist
 }
@@ -45,12 +45,12 @@ func ShortestPaths(g *Graph, src int, w WeightFunc) []float64 {
 			continue // stale entry
 		}
 		u := item.node
-		g.EachNeighbor(u, func(v int) {
-			if d := item.dist + w(u, v); d < dist[v] {
+		for _, v := range g.Row(u) {
+			if d := item.dist + w(u, int(v)); d < dist[v] {
 				dist[v] = d
-				heap.Push(pq, distItem{node: v, dist: d})
+				heap.Push(pq, distItem{node: int(v), dist: d})
 			}
-		})
+		}
 	}
 	return dist
 }

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"cbtc/internal/core"
@@ -47,8 +48,15 @@ type Node struct {
 
 	// dirs is the reusable buffer behind directions(): the per-round gap
 	// test is the hottest per-node path of the growing phase, and a fresh
-	// slice per round was its dominant allocation.
+	// slice per round was its dominant allocation. It is maintained
+	// sorted (InsertSorted), so the gap test runs on HasGapSorted and
+	// never takes MaxGap's per-call sort copy.
 	dirs []float64
+	// nbrScratch and idScratch are the phase-end buffers: the sorted
+	// neighbor list handed to the Reconfigurator and the sorted Acked-id
+	// list for asymmetric-removal notices, reused across regrows.
+	nbrScratch []core.Discovery
+	idScratch  []int
 
 	// Events observed, for tests and reporting.
 	Joins, Leaves, AngleChanges, Regrows int
@@ -163,7 +171,7 @@ func (n *Node) onRoundEnd(ctx *netsim.Context, roundPower float64) {
 		return // stale timer from an earlier round
 	}
 	maxPower := ctx.Model().MaxPower()
-	if geom.HasGap(n.directions(), n.cfg.Alpha) && n.power < maxPower {
+	if geom.HasGapSorted(n.directions(), n.cfg.Alpha) && n.power < maxPower {
 		n.power = math.Min(n.cfg.Increase(n.power), maxPower)
 		n.broadcastHello(ctx)
 		return
@@ -176,20 +184,30 @@ func (n *Node) finishGrowing(ctx *netsim.Context) {
 	firstFinish := !n.finished
 	n.finished = true
 	n.growPower = n.power
-	n.boundary = geom.HasGap(n.directions(), n.cfg.Alpha)
+	n.boundary = geom.HasGapSorted(n.directions(), n.cfg.Alpha)
 
 	if n.cfg.AsymRemoval {
 		// Tell every Hello sender we did not discover to drop the
-		// asymmetric edge (§3.2).
-		for v, needed := range n.ackedTo {
+		// asymmetric edge (§3.2), in ascending id order: map iteration
+		// would make the unicast emission order — and with it the
+		// simulator's event history — depend on map layout.
+		n.idScratch = n.idScratch[:0]
+		for v := range n.ackedTo {
+			n.idScratch = append(n.idScratch, v)
+		}
+		sort.Ints(n.idScratch)
+		for _, v := range n.idScratch {
 			if _, ok := n.discovered[v]; !ok {
-				ctx.Unicast(v, needed, removeMsg{})
+				ctx.Unicast(v, n.ackedTo[v], removeMsg{})
 			}
 		}
 	}
 
 	if n.cfg.EnableNDP && firstFinish {
-		n.reconf = core.NewReconfigurator(n.cfg.Alpha, ctx.Model(), n.Neighbors())
+		// The Reconfigurator copies the list, so the phase-end neighbor
+		// sort runs in a reused buffer instead of a fresh map dump.
+		n.nbrScratch = n.AppendNeighbors(n.nbrScratch[:0])
+		n.reconf = core.NewReconfigurator(n.cfg.Alpha, ctx.Model(), n.nbrScratch)
 		now := ctx.Now()
 		for id := range n.discovered {
 			n.lastHeard[id] = now
@@ -214,7 +232,10 @@ func (n *Node) beaconPower(ctx *netsim.Context) float64 {
 	switch n.cfg.Beacons {
 	case BeaconShrunkPower:
 		// The buggy rule: power for the shrunk-back neighbor set only.
-		shrunk := core.ShrinkNeighbors(n.Neighbors(), n.cfg.Alpha)
+		// ShrinkNeighbors copies its input, so the per-beacon neighbor
+		// sort runs in the reused phase-end buffer.
+		n.nbrScratch = n.AppendNeighbors(n.nbrScratch[:0])
+		shrunk := core.ShrinkNeighbors(n.nbrScratch, n.cfg.Alpha)
 		var p float64
 		for _, d := range shrunk {
 			p = math.Max(p, ctx.Model().PowerFor(d.Dist))
@@ -318,34 +339,49 @@ func (n *Node) regrow(ctx *netsim.Context) {
 
 // --- State inspection (used by the runtime and tests) ---
 
-// directions returns the discovered direction set in the node's reusable
-// buffer; the result is only valid until the next directions call.
+// directions returns the discovered direction set, normalized and
+// ascending, in the node's reusable buffer; the result is only valid
+// until the next directions call. Sorted maintenance (InsertSorted per
+// entry) replaces MaxGap's normalize-and-sort copy per gap test.
 func (n *Node) directions() []float64 {
 	out := n.dirs[:0]
 	for _, d := range n.discovered {
-		out = append(out, d.Dir)
+		out = geom.InsertSorted(out, d.Dir)
 	}
 	n.dirs = out
 	return out
 }
 
-// Neighbors returns the discovered set sorted by (Power, Dist, ID) — the
-// same order core uses.
-func (n *Node) Neighbors() []core.Discovery {
-	out := make([]core.Discovery, 0, len(n.discovered))
+// AppendNeighbors appends the discovered set to dst (a reused buffer,
+// passed as dst[:0] or nil) sorted by (Power, Dist, ID) — the same
+// order core uses — and returns the extended slice.
+func (n *Node) AppendNeighbors(dst []core.Discovery) []core.Discovery {
 	for _, d := range n.discovered {
-		out = append(out, d)
+		dst = append(dst, d)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Power != out[j].Power {
-			return out[i].Power < out[j].Power
+	slices.SortFunc(dst, func(a, b core.Discovery) int {
+		switch {
+		case a.Power != b.Power:
+			if a.Power < b.Power {
+				return -1
+			}
+			return 1
+		case a.Dist != b.Dist:
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		default:
+			return a.ID - b.ID
 		}
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
 	})
-	return out
+	return dst
+}
+
+// Neighbors returns the discovered set sorted by (Power, Dist, ID) as a
+// fresh slice.
+func (n *Node) Neighbors() []core.Discovery {
+	return n.AppendNeighbors(make([]core.Discovery, 0, len(n.discovered)))
 }
 
 // TableNeighbors returns the current reconfiguration table (the dynamic

@@ -7,6 +7,12 @@ import (
 )
 
 // Result is the outcome of a topology-control run.
+//
+// The graphs a Result carries are read-only views: session snapshots
+// hand out copy-on-write clones whose rows are structurally shared with
+// the live session state (either side copies a row before mutating it),
+// so a Result stays frozen at its snapshot moment at O(nodes) cost.
+// Treat G and GR as immutable; clone them before making local edits.
 type Result struct {
 	// G is the final symmetric communication graph.
 	G *Graph

@@ -51,14 +51,22 @@ type Session struct {
 	// Incremental-snapshot state, maintained only when the optimization
 	// stack is per-node local (incremental == true, i.e. pairwise removal
 	// is off). Repairs patch exactly the recomputed nodes' arcs; Snapshot
-	// then clones the maintained graphs instead of rebuilding the full
-	// topology and ground-truth G_R from scratch.
+	// then takes copy-on-write clones of the maintained graphs — O(live
+	// nodes) slice-header copies — instead of rebuilding the full
+	// topology and ground-truth G_R from scratch, and later repairs copy
+	// only the rows they actually touch.
 	incremental bool
 	pruned      [][]core.Discovery // per-node neighbor lists after op1/degree pruning
 	nalpha      *graph.Digraph     // pruned directed relation N_α
 	g           *graph.Graph       // its symmetrization per the optimization stack
 	gr          *graph.Graph       // G_R over live nodes; departed nodes isolated
 	grScratch   []int              // reusable max-power neighbor buffer
+
+	// mark/markGen implement allocation-free set membership for the
+	// per-event dedup passes (observer unions, recompute id sets): node u
+	// is in the current set iff mark[u] == markGen.
+	mark    []int
+	markGen int
 }
 
 // SessionStats aggregates the reconfiguration activity a Session has
@@ -123,12 +131,11 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 		}); err != nil {
 			return nil, err
 		}
-		s.nalpha = graph.NewDigraph(n)
+		rows := make([][]int32, n)
 		for u := range s.pruned {
-			for _, nb := range s.pruned[u] {
-				s.nalpha.AddArc(u, nb.ID)
-			}
+			rows[u] = core.SuccessorRow(nil, s.pruned[u])
 		}
+		s.nalpha = graph.NewDigraphFromRows(rows)
 		if e.opts.AsymmetricRemoval {
 			s.g = s.nalpha.MutualSubgraph()
 		} else {
@@ -160,20 +167,7 @@ func (e *Engine) pruneNeighbors(nbrs []core.Discovery) []core.Discovery {
 func (s *Session) Join(p Point) (int, EventReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id := len(s.pos)
-	s.pos = append(s.pos, p)
-	s.alive = append(s.alive, true)
-	s.nodes = append(s.nodes, core.NodeResult{})
-	s.recs = append(s.recs, nil)
-	s.idx.Add(id, p)
-	if s.incremental {
-		s.pruned = append(s.pruned, nil)
-		s.nalpha.Grow(1)
-		s.g.Grow(1)
-		s.gr.Grow(1)
-		s.patchGR(id)
-	}
-	s.stats.Joins++
+	id := s.admit(p)
 
 	// The newcomer's beacon is a joinᵤ(id) event at every node that can
 	// hear it; §4 always repairs a join in place (insert, then shrink
@@ -182,7 +176,7 @@ func (s *Session) Join(p Point) (int, EventReport) {
 	var rep EventReport
 	observers := s.withinRange(id, p)
 	rep.Repairs = len(observers)
-	s.stats.Repairs += rep.Repairs
+	s.applyStats(&rep)
 	rep.Recomputed = s.recompute(append(observers, id))
 	return id, rep
 }
@@ -197,27 +191,13 @@ func (s *Session) Leave(id int) (EventReport, error) {
 	if err := s.checkLive(id); err != nil {
 		return EventReport{}, err
 	}
-	s.alive[id] = false
-	s.idx.Remove(id)
-	if s.incremental {
-		s.gr.IsolateNode(id)
-	}
-	s.stats.Leaves++
+	site := s.pos[id]
+	s.depart(id)
 
 	var rep EventReport
-	observers := s.withinRange(id, s.pos[id])
-	for _, u := range observers {
-		if !s.recs[u].Has(id) {
-			continue
-		}
-		if s.recs[u].Leave(id) == core.ActionRegrow {
-			rep.Regrows++
-		} else {
-			rep.Repairs++
-		}
-	}
-	s.stats.Regrows += rep.Regrows
-	s.stats.Repairs += rep.Repairs
+	observers := s.withinRange(id, site)
+	s.observeLeave(id, observers, &rep)
+	s.applyStats(&rep)
 	rep.Recomputed = s.recompute(append(observers, id))
 	return rep, nil
 }
@@ -233,6 +213,53 @@ func (s *Session) Move(id int, p Point) (EventReport, error) {
 	if err := s.checkLive(id); err != nil {
 		return EventReport{}, err
 	}
+	old := s.relocate(id, p)
+
+	var rep EventReport
+	// Observers around either position; the moved node itself regrows.
+	observers := s.union(s.withinRange(id, old), s.withinRange(id, p))
+	s.observeMove(id, p, observers, &rep)
+	rep.Regrows++ // the moved node reruns its growing phase
+	s.applyStats(&rep)
+	rep.Recomputed = s.recompute(append(observers, id))
+	return rep, nil
+}
+
+// admit performs the structural half of a join: it allocates the next
+// node id, inserts p into every maintained structure, and links the
+// newcomer into the incremental ground-truth G_R.
+func (s *Session) admit(p Point) int {
+	id := len(s.pos)
+	s.pos = append(s.pos, p)
+	s.alive = append(s.alive, true)
+	s.nodes = append(s.nodes, core.NodeResult{})
+	s.recs = append(s.recs, nil)
+	s.idx.Add(id, p)
+	if s.incremental {
+		s.pruned = append(s.pruned, nil)
+		s.nalpha.Grow(1)
+		s.g.Grow(1)
+		s.gr.Grow(1)
+		s.patchGR(id)
+	}
+	s.stats.Joins++
+	return id
+}
+
+// depart performs the structural half of a leave: liveness, the spatial
+// index, and the incremental G_R.
+func (s *Session) depart(id int) {
+	s.alive[id] = false
+	s.idx.Remove(id)
+	if s.incremental {
+		s.gr.IsolateNode(id)
+	}
+	s.stats.Leaves++
+}
+
+// relocate performs the structural half of a move and returns the old
+// position.
+func (s *Session) relocate(id int, p Point) Point {
 	old := s.pos[id]
 	s.pos[id] = p
 	s.idx.Move(id, p)
@@ -241,24 +268,48 @@ func (s *Session) Move(id int, p Point) (EventReport, error) {
 		s.patchGR(id)
 	}
 	s.stats.Moves++
+	return old
+}
 
-	var rep EventReport
-	// Observers around either position; the moved node itself regrows.
-	observers := union(s.withinRange(id, old), s.withinRange(id, p))
+// observeLeave classifies a leaveᵤ(id) event through each observer's §4
+// state machine, accumulating the regrow/repair counts into rep.
+// Observers without a state machine yet (nodes admitted earlier in the
+// same batch, awaiting their first recompute) never knew id and are
+// skipped, exactly as a non-neighbor is.
+func (s *Session) observeLeave(id int, observers []int, rep *EventReport) {
+	for _, u := range observers {
+		rc := s.recs[u]
+		if rc == nil || !rc.Has(id) {
+			continue
+		}
+		if rc.Leave(id) == core.ActionRegrow {
+			rep.Regrows++
+		} else {
+			rep.Repairs++
+		}
+	}
+}
+
+// observeMove classifies a move of node id to p at each observer: an
+// aChangeᵤ for observers that still reach it, a leaveᵤ for those it
+// left, a joinᵤ for those it approached. Observers without a state
+// machine yet treat a reachable mover as a joinᵤ.
+func (s *Session) observeMove(id int, p Point, observers []int, rep *EventReport) {
 	r := s.eng.model.MaxRadius * (1 + rangeSlack)
 	for _, u := range observers {
-		was := s.recs[u].Has(id)
+		rc := s.recs[u]
+		was := rc != nil && rc.Has(id)
 		reaches := s.pos[u].Dist(p) <= r
 		switch {
 		case was && reaches:
 			rep.AngleChanges++
-			if s.recs[u].AngleChange(id, s.pos[u].Bearing(p)) == core.ActionRegrow {
+			if rc.AngleChange(id, s.pos[u].Bearing(p)) == core.ActionRegrow {
 				rep.Regrows++
 			} else {
 				rep.Repairs++
 			}
 		case was && !reaches:
-			if s.recs[u].Leave(id) == core.ActionRegrow {
+			if rc.Leave(id) == core.ActionRegrow {
 				rep.Regrows++
 			} else {
 				rep.Repairs++
@@ -268,12 +319,14 @@ func (s *Session) Move(id int, p Point) (EventReport, error) {
 			rep.Repairs++
 		}
 	}
-	rep.Regrows++ // the moved node reruns its growing phase
+}
+
+// applyStats folds one event report's classification counts into the
+// session totals.
+func (s *Session) applyStats(rep *EventReport) {
 	s.stats.AngleChanges += rep.AngleChanges
 	s.stats.Regrows += rep.Regrows
 	s.stats.Repairs += rep.Repairs
-	rep.Recomputed = s.recompute(append(observers, id))
-	return rep, nil
 }
 
 // patchGR re-links node id in the maintained ground-truth G_R: an edge
@@ -451,14 +504,13 @@ type recomputed struct {
 // installs the results and patches the recomputed nodes' arcs into the
 // incrementally-maintained topology graphs.
 func (s *Session) recompute(ids []int) []int {
-	seen := make(map[int]bool, len(ids))
+	s.newMarkEpoch()
 	out := make([]int, 0, len(ids))
 	live := make([]int, 0, len(ids))
 	for _, u := range ids {
-		if seen[u] {
+		if s.marked(u) {
 			continue
 		}
-		seen[u] = true
 		out = append(out, u)
 		if s.alive[u] {
 			live = append(live, u)
@@ -561,13 +613,33 @@ func (s *Session) checkLive(id int) error {
 	return nil
 }
 
-func union(a, b []int) []int {
-	seen := make(map[int]bool, len(a)+len(b))
+// newMarkEpoch starts a fresh membership set over the session's current
+// id space; marked admits each id into it exactly once.
+func (s *Session) newMarkEpoch() {
+	s.markGen++
+	if len(s.mark) < len(s.pos) {
+		s.mark = append(s.mark, make([]int, len(s.pos)-len(s.mark))...)
+	}
+}
+
+// marked reports whether u is already in the current epoch's set, adding
+// it if not.
+func (s *Session) marked(u int) bool {
+	if s.mark[u] == s.markGen {
+		return true
+	}
+	s.mark[u] = s.markGen
+	return false
+}
+
+// union merges two id lists preserving first-occurrence order, deduping
+// through the session's mark stamps instead of a per-call map.
+func (s *Session) union(a, b []int) []int {
+	s.newMarkEpoch()
 	out := make([]int, 0, len(a)+len(b))
 	for _, lst := range [2][]int{a, b} {
 		for _, v := range lst {
-			if !seen[v] {
-				seen[v] = true
+			if !s.marked(v) {
 				out = append(out, v)
 			}
 		}
