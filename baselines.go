@@ -213,9 +213,12 @@ func CompareBaselines(ctx context.Context, nodes []Point, cfg Config) ([]Compari
 	}
 
 	rows := make([]ComparisonRow, len(specs))
-	err := forEachParallel(ctx, len(specs), 0, func(ctx context.Context, i int) error {
+	plan := planShards(0, len(specs))
+	err := plan.run(ctx, len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
-		eng, err := New(WithConfig(sp.cfg))
+		// Spec engines run inside the shard pool: give each the plan's
+		// inner budget, not a full GOMAXPROCS pool of its own.
+		eng, err := New(WithConfig(sp.cfg), WithWorkers(plan.inner))
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.name, err)
 		}

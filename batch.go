@@ -4,27 +4,27 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // RunBatch executes CBTC(α) on every placement, fanning the independent
-// networks across a pool of worker goroutines (GOMAXPROCS by default;
-// see WithWorkers). The returned slice is aligned with placements:
-// results[i] is the outcome of Run on placements[i]. Each placement runs
-// serially inside its worker — batch-level parallelism already saturates
-// the pool, so multiplying it by Run's per-node parallelism would only
-// oversubscribe the scheduler.
+// networks across the engine's shard scheduler (GOMAXPROCS workers by
+// default; see WithWorkers). The returned slice is aligned with
+// placements: results[i] is the outcome of Run on placements[i]. When
+// the batch is at least as large as the pool each placement runs
+// serially inside its shard — batch-level parallelism already saturates
+// the pool. A batch smaller than the pool hands the leftover cores down
+// to each run's per-node parallelism instead of idling them; Run is
+// worker-count invariant, so the split never changes the results.
 //
 // The first failure cancels the remaining work and is returned; if ctx
-// ends first, RunBatch aborts mid-batch and returns ctx.Err(). Workers
+// ends first, RunBatch aborts mid-batch and returns ctx.Err(). Shards
 // pull placements from a shared counter, so heterogeneous network sizes
 // balance automatically.
 func (e *Engine) RunBatch(ctx context.Context, placements [][]Point) ([]*Result, error) {
 	results := make([]*Result, len(placements))
-	err := forEachParallel(ctx, len(placements), e.workers, func(ctx context.Context, i int) error {
-		res, err := e.run(ctx, placements[i], 1)
+	plan := planShards(e.workers, len(placements))
+	err := plan.run(ctx, len(placements), func(ctx context.Context, i int) error {
+		res, err := e.run(ctx, placements[i], plan.inner)
 		if err != nil {
 			// Report a cancellation as the bare context error, not as a
 			// placement failure.
@@ -40,60 +40,4 @@ func (e *Engine) RunBatch(ctx context.Context, placements [][]Point) ([]*Result,
 		return nil, err
 	}
 	return results, nil
-}
-
-// forEachParallel runs fn(i) for every i in [0, n) across a pool of
-// min(workers, n) goroutines (workers ≤ 0 means GOMAXPROCS). Indices
-// are handed out through an atomic counter — a sharded work queue with
-// no per-item channel traffic. The first error cancels the pool and is
-// returned; cancellation of ctx yields ctx.Err().
-func forEachParallel(ctx context.Context, n, workers int, fn func(context.Context, int) error) error {
-	if n == 0 {
-		return ctx.Err()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
 }

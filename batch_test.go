@@ -1,0 +1,73 @@
+package cbtc
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"cbtc/internal/workload"
+)
+
+func TestPlanShards(t *testing.T) {
+	for _, tc := range []struct {
+		workers, n    int
+		shards, inner int
+	}{
+		{1, 8, 1, 1},   // serial: one shard, no leftover
+		{8, 8, 8, 1},   // saturated: unit-level parallelism only
+		{8, 100, 8, 1}, // oversubscribed units queue on the pool
+		{8, 2, 2, 4},   // small batch, big machine: leftover cores go inner
+		{8, 3, 3, 2},   // uneven split floors the budget (2 cores each; the 2 remainder cores idle)
+		{4, 1, 1, 4},   // a single unit gets the whole budget
+		{3, 0, 3, 1},   // empty work keeps a valid plan
+	} {
+		got := planShards(tc.workers, tc.n)
+		if got.shards != tc.shards || got.inner != tc.inner {
+			t.Errorf("planShards(%d, %d) = {shards: %d, inner: %d}, want {%d, %d}",
+				tc.workers, tc.n, got.shards, got.inner, tc.shards, tc.inner)
+		}
+	}
+	if p := planShards(0, 2); p.shards != min(2, runtime.GOMAXPROCS(0)) || p.inner < 1 {
+		t.Errorf("planShards(0, 2) = %+v, want GOMAXPROCS-derived plan", p)
+	}
+}
+
+// The leftover-core fix: a batch smaller than the pool hands spare
+// workers to each run's inner parallelism, and the results must still
+// be identical to the fully serial batch (Run is worker-count
+// invariant).
+func TestRunBatchLeftoverCoresEquivalence(t *testing.T) {
+	placements := make([][]Point, 3)
+	for i := range placements {
+		placements[i] = workload.Uniform(workload.Rand(uint64(40+i)), 80, 1500, 1500)
+	}
+	ctx := context.Background()
+
+	serial, err := New(WithMaxRadius(500), WithAllOptimizations(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.RunBatch(ctx, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 8 workers over 3 placements: plan{shards: 3, inner: 2} — each
+	// inner run fans its cone tests across the leftover budget.
+	wide, err := New(WithMaxRadius(500), WithAllOptimizations(), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wide.RunBatch(ctx, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range placements {
+		if !got[i].G.Equal(want[i].G) {
+			t.Errorf("placement %d: leftover-core batch topology differs from serial", i)
+		}
+		if !got[i].GR.Equal(want[i].GR) {
+			t.Errorf("placement %d: leftover-core batch G_R differs from serial", i)
+		}
+	}
+}

@@ -627,6 +627,66 @@ func benchMobilityTick(b *testing.B, sc workload.LargeNScenario, pos []Point, fn
 	b.ReportMetric(float64(tickSize), "moves/tick")
 }
 
+// BenchmarkFleet measures the PR 5 tentpole: the same 16-network fleet
+// (250 nodes each, constant paper density, standard drift/churn ticks)
+// advanced one synchronized tick per iteration — tick generation,
+// batched repair, per-tick observation and the aggregated FleetReport —
+// serially and across the shard pool. The networks are independent, so
+// the sharded fleet's per-network results are byte-identical to the
+// serial ones (TestFleetWorkerCountInvariance); BENCH_PR5.json gates
+// the serial/sharded ratio on multi-core runners.
+func BenchmarkFleet(b *testing.B) {
+	sc := workload.Fleet(16, 250, "uniform")
+	placements := sc.Placements(7)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"sharded", 0},
+	} {
+		tc := tc
+		b.Run(sc.Name+"/"+tc.name, func(b *testing.B) {
+			eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
+			if err != nil {
+				b.Fatal(err)
+			}
+			fleet, err := eng.NewFleet(ctx, FleetConfig{Placements: placements, Seed: 11, Workers: tc.workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tick := DriftTick(TickProfile{
+				Moves:     sc.Moves,
+				Jitter:    sc.Jitter,
+				JoinProb:  sc.JoinProb,
+				LeaveProb: sc.LeaveProb,
+				Width:     sc.Side,
+				Height:    sc.Side,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var events int
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(ctx, 1, tick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Preserved != rep.Networks {
+					b.Fatalf("tick %d: only %d/%d networks preserve connectivity", i, rep.Preserved, rep.Networks)
+				}
+				events = rep.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			workers := tc.workers
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}
+
 // BenchmarkGraphClone isolates the substrate win: a copy-on-write clone
 // of the n=10k maximum-power graph (O(n) slice-header copies) against a
 // fully materialized deep copy (O(E) arena copy) — the cheapest possible

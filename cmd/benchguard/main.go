@@ -22,6 +22,12 @@
 // changes. The ratio checks compare two benchmarks from the same run and
 // the allocation ceilings count deterministic allocator traffic; both are
 // machine-independent and are the stronger guards.
+//
+// Under GitHub Actions, check mode additionally appends a markdown
+// results table to $GITHUB_STEP_SUMMARY and emits an ::error workflow
+// annotation per failed check naming the benchmark and the violated
+// gate, so a red bench job is readable from the run page without
+// downloading artifacts.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Report is the JSON schema shared by baselines and current runs.
@@ -236,59 +243,74 @@ func runCheck(basePath, curPath string, tolOverride float64) error {
 	}
 	sort.Strings(names)
 
-	failures := 0
+	var rows []checkRow
 	for _, name := range names {
 		want := base.Benchmarks[name]
 		got, ok := cur.Benchmarks[name]
 		switch {
 		case !ok:
-			fmt.Printf("MISSING  %-55s tracked benchmark not in current run\n", name)
-			failures++
+			rows = append(rows, checkRow{"MISSING", "benchmark", name,
+				"tracked benchmark not in current run", true})
 		case got > want*(1+tol):
-			fmt.Printf("REGRESS  %-55s %12.0f ns/op -> %12.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
-				name, want, got, 100*(got/want-1), 100*tol)
-			failures++
+			rows = append(rows, checkRow{"REGRESS", "benchmark", name,
+				fmt.Sprintf("%.0f ns/op -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+					want, got, 100*(got/want-1), 100*tol), true})
 		default:
-			fmt.Printf("ok       %-55s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",
-				name, want, got, 100*(got/want-1))
+			rows = append(rows, checkRow{"ok", "benchmark", name,
+				fmt.Sprintf("%.0f ns/op -> %.0f ns/op (%+.1f%%)", want, got, 100*(got/want-1)), false})
 		}
 	}
 	for _, rc := range base.Ratios {
+		name := rc.Slow + " / " + rc.Fast
 		if rc.MinCores > runtime.NumCPU() {
-			fmt.Printf("skip     ratio %s / %s: needs >= %d cores, have %d\n",
-				rc.Slow, rc.Fast, rc.MinCores, runtime.NumCPU())
+			rows = append(rows, checkRow{"skip", "ratio", name,
+				fmt.Sprintf("needs >= %d cores, have %d", rc.MinCores, runtime.NumCPU()), false})
 			continue
 		}
 		slow, okS := cur.Benchmarks[rc.Slow]
 		fast, okF := cur.Benchmarks[rc.Fast]
 		switch {
 		case !okS || !okF:
-			fmt.Printf("MISSING  ratio %s / %s: benchmark absent from current run\n", rc.Slow, rc.Fast)
-			failures++
+			rows = append(rows, checkRow{"MISSING", "ratio", name,
+				"benchmark absent from current run", true})
 		case fast <= 0 || slow/fast < rc.Min:
-			fmt.Printf("RATIO    %s / %s = %.1fx, need >= %.1fx\n", rc.Slow, rc.Fast, slow/fast, rc.Min)
-			failures++
+			rows = append(rows, checkRow{"RATIO", "ratio", name,
+				fmt.Sprintf("%.1fx, need >= %.1fx", slow/fast, rc.Min), true})
 		default:
-			fmt.Printf("ok       ratio %s / %s = %.1fx (>= %.1fx)\n", rc.Slow, rc.Fast, slow/fast, rc.Min)
+			rows = append(rows, checkRow{"ok", "ratio", name,
+				fmt.Sprintf("%.1fx (>= %.1fx)", slow/fast, rc.Min), false})
 		}
 	}
 	for _, ic := range base.Improvements {
 		got, ok := cur.Benchmarks[ic.Bench]
 		switch {
 		case !ok:
-			fmt.Printf("MISSING  improvement %s: benchmark absent from current run\n", ic.Bench)
-			failures++
+			rows = append(rows, checkRow{"MISSING", "improvement", ic.Bench,
+				"benchmark absent from current run", true})
 		case got <= 0 || ic.BaselineNS/got < ic.Min:
-			fmt.Printf("IMPROVE  %s = %.1fx over frozen %.0f ns/op, need >= %.1fx\n",
-				ic.Bench, ic.BaselineNS/got, ic.BaselineNS, ic.Min)
-			failures++
+			rows = append(rows, checkRow{"IMPROVE", "improvement", ic.Bench,
+				fmt.Sprintf("%.1fx over frozen %.0f ns/op, need >= %.1fx",
+					ic.BaselineNS/got, ic.BaselineNS, ic.Min), true})
 		default:
-			fmt.Printf("ok       improvement %s = %.1fx over frozen %.0f ns/op (>= %.1fx)\n",
-				ic.Bench, ic.BaselineNS/got, ic.BaselineNS, ic.Min)
+			rows = append(rows, checkRow{"ok", "improvement", ic.Bench,
+				fmt.Sprintf("%.1fx over frozen %.0f ns/op (>= %.1fx)",
+					ic.BaselineNS/got, ic.BaselineNS, ic.Min), false})
 		}
 	}
-	failures += checkCeilings("allocs/op", base.AllocCeilings, cur.Allocs)
-	failures += checkCeilings("B/op", base.ByteCeilings, cur.Bytes)
+	rows = append(rows, checkCeilings("allocs/op", base.AllocCeilings, cur.Allocs)...)
+	rows = append(rows, checkCeilings("B/op", base.ByteCeilings, cur.Bytes)...)
+
+	failures := 0
+	for _, row := range rows {
+		fmt.Printf("%-8s %-11s %-55s %s\n", row.status, row.kind, row.name, row.detail)
+		if row.failed {
+			failures++
+		}
+	}
+	if err := writeStepSummary(rows, failures); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: step summary:", err)
+	}
+	emitAnnotations(rows)
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark check(s) failed", failures)
 	}
@@ -297,28 +319,109 @@ func runCheck(basePath, curPath string, tolOverride float64) error {
 	return nil
 }
 
+// checkRow is one gate evaluation: the stdout line, the step-summary
+// table row, and (when failed) the workflow annotation all render from
+// it.
+type checkRow struct {
+	// status is "ok", "skip", or the failure class (MISSING, REGRESS,
+	// RATIO, IMPROVE, CEILING).
+	status string
+	// kind names the gate family: benchmark, ratio, improvement,
+	// allocs/op, B/op.
+	kind string
+	// name identifies the benchmark (or slow/fast pair) gated.
+	name string
+	// detail is the human-readable measurement vs limit.
+	detail string
+	failed bool
+}
+
 // checkCeilings enforces per-benchmark upper bounds on a deterministic
-// metric (allocs/op or B/op). It returns the number of failures.
-func checkCeilings(unit string, ceilings map[string]float64, current map[string]float64) int {
+// metric (allocs/op or B/op).
+func checkCeilings(unit string, ceilings map[string]float64, current map[string]float64) []checkRow {
 	names := make([]string, 0, len(ceilings))
 	for name := range ceilings {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failures := 0
+	rows := make([]checkRow, 0, len(names))
 	for _, name := range names {
 		limit := ceilings[name]
 		got, ok := current[name]
 		switch {
 		case !ok:
-			fmt.Printf("MISSING  %-55s no %s reported in current run\n", name, unit)
-			failures++
+			rows = append(rows, checkRow{"MISSING", unit, name,
+				fmt.Sprintf("no %s reported in current run", unit), true})
 		case got > limit:
-			fmt.Printf("CEILING  %-55s %12.0f %s, limit %.0f\n", name, got, unit, limit)
-			failures++
+			rows = append(rows, checkRow{"CEILING", unit, name,
+				fmt.Sprintf("%.0f %s, limit %.0f", got, unit, limit), true})
 		default:
-			fmt.Printf("ok       %-55s %12.0f %s (limit %.0f)\n", name, got, unit, limit)
+			rows = append(rows, checkRow{"ok", unit, name,
+				fmt.Sprintf("%.0f %s (limit %.0f)", got, unit, limit), false})
 		}
 	}
-	return failures
+	return rows
+}
+
+// writeStepSummary appends a markdown results table to the file named
+// by $GITHUB_STEP_SUMMARY (the GitHub Actions job summary). Outside
+// Actions the variable is unset and this is a no-op.
+func writeStepSummary(rows []checkRow, failures int) error {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	if failures == 0 {
+		fmt.Fprintf(&b, "### benchguard: all %d checks passed ✅\n\n", len(rows))
+	} else {
+		fmt.Fprintf(&b, "### benchguard: %d of %d checks failed ❌\n\n", failures, len(rows))
+	}
+	b.WriteString("| status | check | benchmark | result |\n|---|---|---|---|\n")
+	for _, row := range rows {
+		status := row.status
+		if row.failed {
+			status = "**" + status + "**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | `%s` | %s |\n",
+			status, row.kind, row.name, mdEscape(row.detail))
+	}
+	b.WriteByte('\n')
+	_, err = f.WriteString(b.String())
+	return err
+}
+
+// emitAnnotations prints one ::error workflow command per failed check,
+// so the failure names the benchmark and the violated gate directly on
+// the run page. Only active under GitHub Actions.
+func emitAnnotations(rows []checkRow) {
+	if os.Getenv("GITHUB_ACTIONS") != "true" {
+		return
+	}
+	for _, row := range rows {
+		if !row.failed {
+			continue
+		}
+		fmt.Printf("::error title=benchguard %s %s::%s: %s\n",
+			row.status, row.kind, annEscape(row.name), annEscape(row.detail))
+	}
+}
+
+// annEscape escapes a workflow-command value per the Actions toolkit
+// rules (%, CR and LF must be URL-encoded).
+func annEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// mdEscape keeps table cells from breaking the summary's markdown grid.
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
 }

@@ -14,13 +14,15 @@ import (
 // Engine is a validated, reusable CBTC(α) executor. It is built once by
 // New from functional options, is immutable afterwards, and is safe for
 // concurrent use: any number of goroutines may call Run, Simulate,
-// MaxPower, Baseline and RunBatch on the same Engine simultaneously.
+// MaxPower, Baseline and RunBatch on the same Engine simultaneously —
+// and any number of Sessions (NewSession) and Fleets (NewFleet) may
+// evolve concurrently on top of it.
 type Engine struct {
 	cfg      Config
 	model    radio.Model
 	opts     core.Options
 	schedule []float64 // non-nil: quantize discovery tags to these levels
-	workers  int       // worker pool size for Run/RunBatch/MaxPower/Session repair; 0 = GOMAXPROCS
+	workers  int       // worker budget for Run/RunBatch/MaxPower/Session repair/Fleets; 0 = GOMAXPROCS
 }
 
 // New builds an Engine from functional options, validating the combined
@@ -60,6 +62,17 @@ func New(options ...Option) (*Engine, error) {
 // Config returns the fully-resolved configuration the Engine runs with
 // (defaults filled in, pairwise policy resolved).
 func (e *Engine) Config() Config { return e.cfg }
+
+// withWorkers returns a copy of the engine pinned to a different worker
+// budget. Every executor is worker-count invariant, so the copy is
+// interchangeable with the original except for scheduling; the
+// experiment fan-outs use it to hand shard-pool inner budgets to nested
+// runs.
+func (e *Engine) withWorkers(n int) *Engine {
+	c := *e
+	c.workers = n
+	return &c
+}
 
 // Alpha returns the cone angle the Engine runs with.
 func (e *Engine) Alpha() float64 { return e.cfg.Alpha }

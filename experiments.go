@@ -162,11 +162,16 @@ func RunTable1Context(ctx context.Context, params Table1Params) (*Table1Result, 
 	for ci := range cells {
 		cells[ci] = make([]Table1Cell, p.Networks)
 	}
-	err := forEachParallel(ctx, p.Networks, 0, func(ctx context.Context, net int) error {
+	plan := planShards(0, p.Networks)
+	// The only nested parallelism in the fan-out is MaxPower's G_R
+	// build; pin a copy of the engine to the plan's inner budget so the
+	// shard pool isn't multiplied by GOMAXPROCS radius queries.
+	mpEngine := anyEngine.withWorkers(plan.inner)
+	err := plan.run(ctx, p.Networks, func(ctx context.Context, net int) error {
 		for ci, col := range cols {
 			switch {
 			case col.MaxPower:
-				res, err := anyEngine.MaxPower(placements[net])
+				res, err := mpEngine.MaxPower(placements[net])
 				if err != nil {
 					return err
 				}
@@ -265,9 +270,12 @@ func Figure6PanelsContext(ctx context.Context, seed uint64) ([]Panel, error) {
 		{"h", "α=2π/3 with all optimizations", pairwise(asym(shrink(cfg23))), false},
 	}
 	panels := make([]Panel, len(specs))
-	err := forEachParallel(ctx, len(specs), 0, func(ctx context.Context, i int) error {
+	plan := planShards(0, len(specs))
+	err := plan.run(ctx, len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
-		eng, err := New(WithConfig(sp.cfg))
+		// Panel engines run inside the shard pool: give each the plan's
+		// inner budget, not a full GOMAXPROCS pool of its own.
+		eng, err := New(WithConfig(sp.cfg), WithWorkers(plan.inner))
 		if err != nil {
 			return fmt.Errorf("panel %s: %w", sp.key, err)
 		}

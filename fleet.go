@@ -1,0 +1,355 @@
+package cbtc
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"cbtc/internal/stats"
+	"cbtc/internal/workload"
+)
+
+// FleetConfig configures Engine.NewFleet.
+type FleetConfig struct {
+	// Placements are the M initial networks; network i starts from
+	// Placements[i]. At least one placement is required.
+	Placements [][]Point
+	// Seed derives every network's private tick RNG (a decorrelated
+	// splitmix stream per network), so a fleet is reproducible from its
+	// placements and one seed, at any worker count.
+	Seed uint64
+	// Workers sizes the fleet's shard pool. Zero means the engine's
+	// worker budget (WithWorkers; GOMAXPROCS by default); one drives
+	// the fleet serially.
+	Workers int
+}
+
+// TickFunc generates network net's events for synchronized tick number
+// tick. It must derive randomness only from rng — the network's private
+// deterministic stream — and from the session's own observable state;
+// under that contract a fleet's per-network results are byte-identical
+// at every worker count, and identical to driving each session alone.
+// DriftTick builds the standard mobility/membership profile.
+type TickFunc func(net, tick int, rng *rand.Rand, s *Session) []Event
+
+// TickProfile parameterizes DriftTick, the standard synchronized
+// mobility/membership tick. internal/workload's FleetScenario carries
+// matching field values for its generated placements.
+type TickProfile struct {
+	// Moves is the number of random live nodes jittered per tick.
+	Moves int
+	// Jitter is the uniform per-coordinate drift amplitude (±Jitter).
+	Jitter float64
+	// JoinProb and LeaveProb are the per-tick probabilities of one node
+	// joining at a uniform position / one random live node leaving.
+	JoinProb, LeaveProb float64
+	// Width and Height bound the region: joins draw from it and moved
+	// nodes are clamped to it.
+	Width, Height float64
+}
+
+// DriftTick returns the standard TickFunc: each tick jitters
+// p.Moves random live nodes by up to ±p.Jitter per coordinate (clamped
+// to the region), then joins a fresh uniform node with probability
+// p.JoinProb, then removes a random live node with probability
+// p.LeaveProb. Event order (moves, join, leave) is fixed so the RNG
+// consumption — and with it the whole fleet — is deterministic.
+func DriftTick(p TickProfile) TickFunc {
+	return func(_, _ int, rng *rand.Rand, s *Session) []Event {
+		events := make([]Event, 0, p.Moves+2)
+		for k := 0; k < p.Moves; k++ {
+			id := randomLive(rng, s)
+			if id < 0 {
+				break
+			}
+			q := s.Position(id)
+			q.X = clampTo(q.X+(rng.Float64()*2-1)*p.Jitter, p.Width)
+			q.Y = clampTo(q.Y+(rng.Float64()*2-1)*p.Jitter, p.Height)
+			events = append(events, MoveEvent(id, q))
+		}
+		if p.JoinProb > 0 && rng.Float64() < p.JoinProb {
+			events = append(events, JoinEvent(Pt(rng.Float64()*p.Width, rng.Float64()*p.Height)))
+		}
+		// The leave comes last so it can never invalidate an earlier
+		// event of the same batch targeting the departing node.
+		if p.LeaveProb > 0 && rng.Float64() < p.LeaveProb {
+			if id := randomLive(rng, s); id >= 0 {
+				events = append(events, LeaveEvent(id))
+			}
+		}
+		return events
+	}
+}
+
+// randomLive draws a uniformly random live node id, by rejection over
+// the session's id space. It returns -1 when no live node turns up
+// (an emptied network).
+func randomLive(rng *rand.Rand, s *Session) int {
+	n := s.Len()
+	if n == 0 {
+		return -1
+	}
+	for tries := 0; tries < 4*n+8; tries++ {
+		id := rng.IntN(n)
+		if s.Alive(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+func clampTo(v, hi float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Fleet owns M independent evolving networks — one Session each — and
+// drives synchronized reconfiguration ticks across them on a shard
+// scheduler: every network advances through the same tick schedule,
+// each tick applied as one Session.ApplyBatch repair, with cross-network
+// statistics aggregated into a FleetReport through mergeable streaming
+// accumulators. Networks never share mutable state: each has a private
+// RNG stream, a private accumulator slot, and a session pinned to the
+// shard plan's inner worker budget, so per-network results are
+// byte-identical at any worker count.
+//
+// A Fleet serializes its own operations (Run and Report may be called
+// from any goroutine, one at a time); the individual sessions remain
+// independently safe for concurrent use.
+type Fleet struct {
+	eng     *Engine
+	workers int
+
+	mu     sync.Mutex
+	nets   []*fleetNetwork
+	target int // ticks every network must reach
+}
+
+// fleetNetwork is one shard slot: all mutable per-network state lives
+// here, touched only by the single shard goroutine currently driving
+// network i (shard slots are disjoint) or under the fleet lock.
+type fleetNetwork struct {
+	sess   *Session
+	rng    *rand.Rand
+	done   int // completed ticks
+	events int // events applied across all ticks
+
+	degree, radius, comps, energy stats.Stream
+}
+
+// NewFleet builds a Fleet of len(cfg.Placements) networks, running the
+// initial CBTC(α) computation of every network across the shard pool.
+// Cancelling ctx aborts construction.
+func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) {
+	m := len(cfg.Placements)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: fleet needs at least one placement", ErrBadConfig)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = e.workers
+	}
+	if workers < 0 {
+		return nil, fmt.Errorf("%w: negative fleet worker count %d", ErrBadConfig, cfg.Workers)
+	}
+	f := &Fleet{eng: e, workers: workers, nets: make([]*fleetNetwork, m)}
+	plan := planShards(workers, m)
+	err := plan.run(ctx, m, func(ctx context.Context, i int) error {
+		sess, err := e.newSession(ctx, cfg.Placements[i], plan.inner)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			return fmt.Errorf("network %d: %w", i, err)
+		}
+		f.nets[i] = &fleetNetwork{sess: sess, rng: rand.New(rand.NewPCG(cfg.Seed, workload.Mix(cfg.Seed, uint64(i))))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Size returns the number of networks in the fleet.
+func (f *Fleet) Size() int { return len(f.nets) }
+
+// Session returns network i's Session, for direct inspection. The
+// session is live — it keeps evolving with subsequent fleet ticks.
+func (f *Fleet) Session(i int) *Session { return f.nets[i].sess }
+
+// Run advances every network by ticks synchronized ticks and returns
+// the aggregated FleetReport. Per tick and per network it calls fn for
+// the tick's events, applies them as one batched repair, and folds the
+// repaired topology's TickStats into the network's accumulators.
+//
+// Cancellation drains cleanly: shards stop at the next tick boundary
+// and Run returns ctx.Err(), leaving every session at a consistent
+// repaired state (mid-tick progress never leaks — a tick either applied
+// fully or not at all on each network). The requested tick target is
+// retained, so a later Run first catches lagging networks up before
+// adding its own ticks; Run(ctx, 0, fn) completes exactly the remainder
+// of a cancelled run.
+func (f *Fleet) Run(ctx context.Context, ticks int, fn TickFunc) (*FleetReport, error) {
+	if ticks < 0 {
+		return nil, fmt.Errorf("%w: negative tick count %d", ErrBadConfig, ticks)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.target += ticks
+	plan := planShards(f.workers, len(f.nets))
+	err := plan.run(ctx, len(f.nets), func(ctx context.Context, i int) error {
+		net := f.nets[i]
+		for net.done < f.target {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			events := fn(i, net.done, net.rng, net.sess)
+			_, ts, err := net.sess.Tick(events)
+			if err != nil {
+				return fmt.Errorf("network %d tick %d: %w", i, net.done, err)
+			}
+			net.events += len(events)
+			net.degree.Add(ts.AvgDegree)
+			net.radius.Add(ts.AvgRadius)
+			net.comps.Add(float64(ts.Components))
+			net.energy.Add(ts.Energy)
+			net.done++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.reportLocked(ctx)
+}
+
+// Report aggregates the fleet's current state into a FleetReport
+// without advancing any ticks.
+func (f *Fleet) Report() (*FleetReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reportLocked(context.Background())
+}
+
+// reportLocked assembles the report in two phases: the per-network
+// snapshots fan across the shard pool into disjoint slots, then the
+// aggregate accumulators merge serially in network order — so the
+// merged floats, like everything else in the report, are independent
+// of scheduling. Cancelling ctx aborts between snapshots (they can be
+// full rebuilds on pairwise-stack fleets).
+func (f *Fleet) reportLocked(ctx context.Context) (*FleetReport, error) {
+	rep := &FleetReport{
+		Networks:   len(f.nets),
+		PerNetwork: make([]FleetNetworkReport, len(f.nets)),
+	}
+	plan := planShards(f.workers, len(f.nets))
+	err := plan.run(ctx, len(f.nets), func(_ context.Context, i int) error {
+		net := f.nets[i]
+		snap, err := net.sess.Snapshot()
+		if err != nil {
+			return fmt.Errorf("network %d snapshot: %w", i, err)
+		}
+		ts, err := net.sess.Observe()
+		if err != nil {
+			return fmt.Errorf("network %d: %w", i, err)
+		}
+		nr := FleetNetworkReport{
+			Net:        i,
+			Ticks:      net.done,
+			Events:     net.events,
+			Final:      ts,
+			Preserved:  snap.PreservesConnectivity(),
+			Stats:      net.sess.Stats(),
+			Degree:     net.degree,
+			Radius:     net.radius,
+			Components: net.comps,
+			Energy:     net.energy,
+		}
+		for id := 0; id < net.sess.Len(); id++ {
+			if net.sess.Alive(id) {
+				nr.DegreeDist.Add(snap.G.Degree(id))
+			}
+		}
+		rep.PerNetwork[i] = nr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Ticks = rep.PerNetwork[0].Ticks
+	for i := range rep.PerNetwork {
+		nr := &rep.PerNetwork[i]
+		if nr.Ticks < rep.Ticks {
+			rep.Ticks = nr.Ticks
+		}
+		rep.Events += nr.Events
+		rep.Live += nr.Final.Live
+		rep.Edges += nr.Final.Edges
+		if nr.Preserved {
+			rep.Preserved++
+		}
+		rep.Degree.Merge(&nr.Degree)
+		rep.Radius.Merge(&nr.Radius)
+		rep.Components.Merge(&nr.Components)
+		rep.Energy.Merge(&nr.Energy)
+		rep.DegreeDist.Merge(&nr.DegreeDist)
+	}
+	return rep, nil
+}
+
+// FleetReport aggregates a fleet's state across networks. Everything in
+// it — the per-network slots and the merged accumulators — is a pure
+// function of the fleet's configuration and tick schedule, independent
+// of the worker count the fleet ran with.
+type FleetReport struct {
+	// Networks is the fleet size M.
+	Networks int
+	// Ticks is the number of completed synchronized ticks — of the
+	// slowest network, when a cancelled Run left ragged progress.
+	Ticks int
+	// Events is the total number of events applied across all networks.
+	Events int
+	// Live and Edges total the live nodes and topology edges at report
+	// time.
+	Live, Edges int
+	// Preserved counts networks whose snapshot preserves the
+	// ground-truth partition (Theorem 2.1's guarantee).
+	Preserved int
+	// Degree, Radius, Components and Energy merge every network's
+	// per-tick TickStats series: one observation per network per tick.
+	Degree, Radius, Components, Energy stats.Stream
+	// DegreeDist is the distribution of live-node degrees at report
+	// time, across all networks.
+	DegreeDist stats.IntHist
+	// PerNetwork holds each network's report in fleet order.
+	PerNetwork []FleetNetworkReport
+}
+
+// FleetNetworkReport is one network's slice of a FleetReport.
+type FleetNetworkReport struct {
+	// Net is the network's index in the fleet.
+	Net int
+	// Ticks and Events count the network's completed ticks and applied
+	// events.
+	Ticks, Events int
+	// Final is the network's topology metrics at report time.
+	Final TickStats
+	// Preserved reports whether the network's snapshot preserves the
+	// ground-truth partition.
+	Preserved bool
+	// Stats are the session's cumulative §4 reconfiguration counts.
+	Stats SessionStats
+	// Degree, Radius, Components and Energy accumulate the network's
+	// per-tick TickStats series.
+	Degree, Radius, Components, Energy stats.Stream
+	// DegreeDist is the network's live-node degree distribution at
+	// report time.
+	DegreeDist stats.IntHist
+}

@@ -1,0 +1,326 @@
+package cbtc
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"cbtc/internal/workload"
+)
+
+func fleetEngine(t testing.TB, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := New(append([]Option{WithMaxRadius(workload.PaperRadius), WithShrinkBack()}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func fleetTick(sc workload.FleetScenario) TickFunc {
+	return DriftTick(TickProfile{
+		Moves:     sc.Moves,
+		Jitter:    sc.Jitter,
+		JoinProb:  sc.JoinProb,
+		LeaveProb: sc.LeaveProb,
+		Width:     sc.Side,
+		Height:    sc.Side,
+	})
+}
+
+// The ISSUE's acceptance test: a 32-network fleet produces byte-identical
+// per-shard snapshots and stats at every worker count.
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	sc := workload.Fleet(32, 60, "uniform")
+	placements := sc.Placements(3)
+	tick := fleetTick(sc)
+	ctx := context.Background()
+
+	var want *FleetReport
+	var wantGraphs []*Graph
+	for _, workers := range []int{1, 2, 8} {
+		fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Placements: placements, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fleet.Run(ctx, 6, tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs := make([]*Graph, fleet.Size())
+		for i := range graphs {
+			snap, err := fleet.Session(i).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphs[i] = snap.G
+		}
+		if workers == 1 {
+			want, wantGraphs = rep, graphs
+			continue
+		}
+		if !reflect.DeepEqual(rep, want) {
+			t.Errorf("workers=%d: fleet report differs from serial run", workers)
+		}
+		for i := range graphs {
+			if !graphs[i].Equal(wantGraphs[i]) {
+				t.Errorf("workers=%d: network %d topology differs from serial run", workers, i)
+			}
+		}
+	}
+	if want.Networks != 32 || want.Ticks != 6 {
+		t.Fatalf("report shape: networks=%d ticks=%d", want.Networks, want.Ticks)
+	}
+	if want.Preserved != want.Networks {
+		t.Errorf("only %d/%d networks preserve the ground-truth partition", want.Preserved, want.Networks)
+	}
+	if got := want.Degree.N(); got != int64(32*6) {
+		t.Errorf("aggregate degree stream has %d observations, want %d", got, 32*6)
+	}
+	if want.DegreeDist.N() != int64(want.Live) {
+		t.Errorf("degree distribution mass %d != live nodes %d", want.DegreeDist.N(), want.Live)
+	}
+}
+
+// Fuzz-style randomized equivalence: a fleet of M networks must be
+// edge-identical to M sequential Sessions driven by the same tick
+// streams — for the incremental stack and for the pairwise (full
+// rebuild) stack.
+func TestFleetEqualsSequentialSessions(t *testing.T) {
+	ctx := context.Background()
+	meta := rand.New(rand.NewPCG(77, 1))
+	for trial := 0; trial < 4; trial++ {
+		m := 2 + meta.IntN(5)
+		n := 25 + meta.IntN(35)
+		ticks := 1 + meta.IntN(4)
+		seed := meta.Uint64()
+		var opts []Option
+		if trial%2 == 1 {
+			// Odd trials run the global pairwise stack, covering the
+			// snapshot-rebuild Observe path.
+			opts = append(opts, WithAllOptimizations())
+		}
+		eng := fleetEngine(t, opts...)
+		sc := workload.Fleet(m, n, "uniform")
+		placements := sc.Placements(seed)
+		tick := fleetTick(sc)
+
+		fleet, err := eng.NewFleet(ctx, FleetConfig{Placements: placements, Seed: seed, Workers: 1 + meta.IntN(7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fleet.Run(ctx, ticks, tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < m; i++ {
+			sess, err := eng.NewSession(ctx, placements[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(seed, workload.Mix(seed, uint64(i))))
+			for tk := 0; tk < ticks; tk++ {
+				if _, err := sess.ApplyBatch(tick(i, tk, rng, sess)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := sess.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fleet.Session(i).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.G.Equal(want.G) {
+				t.Fatalf("trial %d network %d: fleet topology differs from sequential session", trial, i)
+			}
+			if !got.GR.Equal(want.GR) {
+				t.Fatalf("trial %d network %d: fleet G_R differs from sequential session", trial, i)
+			}
+			if fleet.Session(i).Stats() != sess.Stats() {
+				t.Fatalf("trial %d network %d: fleet stats %+v, sequential %+v",
+					trial, i, fleet.Session(i).Stats(), sess.Stats())
+			}
+			if rep.PerNetwork[i].Final.Edges != want.G.EdgeCount() {
+				t.Fatalf("trial %d network %d: reported %d edges, session has %d",
+					trial, i, rep.PerNetwork[i].Final.Edges, want.G.EdgeCount())
+			}
+		}
+	}
+}
+
+// Cancelling a fleet run mid-tick must drain cleanly: every session is
+// left at a tick boundary (no partial shard progress corrupting later
+// Snapshots), and finishing the remainder reproduces the uninterrupted
+// run exactly.
+func TestFleetCancellationMidTick(t *testing.T) {
+	sc := workload.Fleet(8, 40, "uniform")
+	placements := sc.Placements(11)
+	tick := fleetTick(sc)
+	ctx := context.Background()
+	const ticks = 8
+
+	ref, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Placements: placements, Seed: 21, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := ref.Run(ctx, ticks, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Placements: placements, Seed: 21, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelCtx, cancel := context.WithCancel(ctx)
+	var calls atomic.Int32
+	interrupting := func(net, tk int, rng *rand.Rand, s *Session) []Event {
+		if calls.Add(1) == 20 {
+			cancel() // mid-run: roughly a third of the fleet's ticks issued
+		}
+		return tick(net, tk, rng, s)
+	}
+	if _, err := fleet.Run(cancelCtx, ticks, interrupting); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted Run error = %v, want context.Canceled", err)
+	}
+
+	// Partial progress must not have corrupted any session: each one
+	// still equals a fresh run over its live placement.
+	for i := 0; i < fleet.Size(); i++ {
+		requireSessionMatchesFreshRun(t, fleet.Session(i).Engine(), fleet.Session(i))
+	}
+
+	// Run(ctx, 0, fn) completes exactly the remainder of the cancelled
+	// run; the drained fleet must be byte-identical to the
+	// uninterrupted reference.
+	gotRep, err := fleet.Run(ctx, 0, interrupting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRep, wantRep) {
+		t.Errorf("drained fleet report differs from uninterrupted run")
+	}
+	for i := 0; i < fleet.Size(); i++ {
+		want, err := ref.Session(i).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fleet.Session(i).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.G.Equal(want.G) || !got.GR.Equal(want.GR) {
+			t.Errorf("network %d: drained topology differs from uninterrupted run", i)
+		}
+	}
+}
+
+// A pre-cancelled context must abort before any tick applies.
+func TestFleetPreCancelled(t *testing.T) {
+	sc := workload.Fleet(3, 20, "uniform")
+	fleet, err := fleetEngine(t).NewFleet(context.Background(), FleetConfig{Placements: sc.Placements(1), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fleet.Run(ctx, 3, fleetTick(sc)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Run error = %v, want context.Canceled", err)
+	}
+	rep, err := fleet.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks != 0 || rep.Events != 0 {
+		t.Errorf("pre-cancelled fleet applied ticks=%d events=%d", rep.Ticks, rep.Events)
+	}
+}
+
+// An emptied (or empty-from-birth) network must not crash the drift
+// generator: with no live nodes DriftTick can only emit joins, and the
+// fleet keeps running.
+func TestFleetEmptyNetwork(t *testing.T) {
+	ctx := context.Background()
+	fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{
+		Placements: [][]Point{{}, {Pt(0, 0), Pt(100, 0)}},
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Run(ctx, 4, DriftTick(TickProfile{
+		Moves: 3, Jitter: 50, JoinProb: 1, Width: 500, Height: 500,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerNetwork[0].Final.Live == 0 {
+		t.Errorf("empty network gained no joins over %d ticks", rep.Ticks)
+	}
+	requireSessionMatchesFreshRun(t, fleet.Session(0).Engine(), fleet.Session(0))
+}
+
+func TestFleetValidation(t *testing.T) {
+	eng := fleetEngine(t)
+	ctx := context.Background()
+	if _, err := eng.NewFleet(ctx, FleetConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty fleet error = %v, want ErrBadConfig", err)
+	}
+	sc := workload.Fleet(2, 15, "uniform")
+	if _, err := eng.NewFleet(ctx, FleetConfig{Placements: sc.Placements(1), Workers: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative workers error = %v, want ErrBadConfig", err)
+	}
+	fleet, err := eng.NewFleet(ctx, FleetConfig{Placements: sc.Placements(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Run(ctx, -1, fleetTick(sc)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative ticks error = %v, want ErrBadConfig", err)
+	}
+	if fleet.Size() != 2 {
+		t.Errorf("fleet size = %d, want 2", fleet.Size())
+	}
+}
+
+// A -race soak: a sharded fleet run with concurrent direct session
+// reads from outside the pool. Sessions serialize internally, shard
+// slots are disjoint, and the report merge runs after the pool — the
+// race detector sees the whole machinery under load.
+func TestFleetRaceSoak(t *testing.T) {
+	sc := workload.Fleet(12, 40, "clustered")
+	fleet, err := fleetEngine(t).NewFleet(context.Background(), FleetConfig{Placements: sc.Placements(9), Seed: 9, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	reads := make(chan error, 1)
+	go func() {
+		defer close(reads)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < fleet.Size(); i++ {
+				if _, err := fleet.Session(i).Observe(); err != nil {
+					reads <- err
+					return
+				}
+			}
+		}
+	}()
+	if _, err := fleet.Run(context.Background(), 5, fleetTick(sc)); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-reads; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package stats
+
+import "math"
+
+// Stream is a streaming, mergeable scalar accumulator: it maintains
+// count, mean, variance (Welford's algorithm), minimum and maximum in
+// O(1) space, and two Streams combine exactly (Chan et al.'s parallel
+// update) — Merge of two halves equals one Stream fed both halves'
+// observations in order, up to float rounding. Unlike Sample it never
+// retains observations, so per-shard accumulators stay allocation-free
+// however long a fleet runs.
+//
+// The zero value is an empty, ready-to-use Stream. All fields are
+// exported so reports carrying Streams compare with reflect.DeepEqual;
+// mutate them only through Add and Merge.
+type Stream struct {
+	// Count is the number of observations.
+	Count int64
+	// Mean is the running arithmetic mean (0 when empty).
+	Mean float64
+	// M2 is the sum of squared deviations from the mean.
+	M2 float64
+	// MinV and MaxV are the extreme observations (undefined when empty).
+	MinV, MaxV float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(v float64) {
+	s.Count++
+	if s.Count == 1 {
+		s.Mean, s.MinV, s.MaxV = v, v, v
+		return
+	}
+	d := v - s.Mean
+	s.Mean += d / float64(s.Count)
+	s.M2 += d * (v - s.Mean)
+	if v < s.MinV {
+		s.MinV = v
+	}
+	if v > s.MaxV {
+		s.MaxV = v
+	}
+}
+
+// Merge folds another stream's accumulated state into s, as if s had
+// also seen every observation o saw. o is unchanged.
+func (s *Stream) Merge(o *Stream) {
+	switch {
+	case o.Count == 0:
+		return
+	case s.Count == 0:
+		*s = *o
+		return
+	}
+	d := o.Mean - s.Mean
+	n := float64(s.Count + o.Count)
+	s.M2 += o.M2 + d*d*float64(s.Count)*float64(o.Count)/n
+	s.Mean += d * float64(o.Count) / n
+	s.Count += o.Count
+	if o.MinV < s.MinV {
+		s.MinV = o.MinV
+	}
+	if o.MaxV > s.MaxV {
+		s.MaxV = o.MaxV
+	}
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.Count }
+
+// Min returns the smallest observation (+Inf when empty, like Sample).
+func (s *Stream) Min() float64 {
+	if s.Count == 0 {
+		return math.Inf(1)
+	}
+	return s.MinV
+}
+
+// Max returns the largest observation (-Inf when empty, like Sample).
+func (s *Stream) Max() float64 {
+	if s.Count == 0 {
+		return math.Inf(-1)
+	}
+	return s.MaxV
+}
+
+// Variance returns the sample variance (0 for fewer than two
+// observations).
+func (s *Stream) Variance() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return s.M2 / float64(s.Count-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// IntHist is a mergeable histogram over small non-negative integers —
+// degree distributions, component counts. Counts[k] is the number of
+// observations of value k; the slice grows on demand and merges
+// bin-by-bin, so per-shard histograms combine deterministically.
+//
+// The zero value is an empty, ready-to-use histogram.
+type IntHist struct {
+	// Counts holds one bin per observed value.
+	Counts []int64
+}
+
+// Add records one observation of k. Negative values are clamped to 0 so
+// a sentinel can never grow an unbounded negative range.
+func (h *IntHist) Add(k int) {
+	if k < 0 {
+		k = 0
+	}
+	for len(h.Counts) <= k {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[k]++
+}
+
+// Merge adds another histogram's bins into h. o is unchanged.
+func (h *IntHist) Merge(o *IntHist) {
+	for len(h.Counts) < len(o.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	for k, c := range o.Counts {
+		h.Counts[k] += c
+	}
+}
+
+// N returns the total number of observations.
+func (h *IntHist) N() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *IntHist) Mean() float64 {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for k, c := range h.Counts {
+		sum += float64(k) * float64(c)
+	}
+	return sum / float64(n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observed values:
+// the smallest k such that at least q of the mass lies at or below k.
+// It returns 0 for an empty histogram.
+func (h *IntHist) Quantile(q float64) int {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for k, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return k
+		}
+	}
+	return len(h.Counts) - 1
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// A Stream must agree with the retain-everything Sample on every shared
+// statistic.
+func TestStreamMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var st Stream
+	var sm Sample
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*10 + 3
+		st.Add(v)
+		sm.Add(v)
+	}
+	if st.N() != int64(sm.N()) {
+		t.Fatalf("N: stream %d, sample %d", st.N(), sm.N())
+	}
+	if !almostEqual(st.Mean, sm.Mean(), 1e-12) {
+		t.Errorf("Mean: stream %v, sample %v", st.Mean, sm.Mean())
+	}
+	if !almostEqual(st.StdDev(), sm.StdDev(), 1e-12) {
+		t.Errorf("StdDev: stream %v, sample %v", st.StdDev(), sm.StdDev())
+	}
+	if st.Min() != sm.Min() || st.Max() != sm.Max() {
+		t.Errorf("extremes: stream [%v, %v], sample [%v, %v]", st.Min(), st.Max(), sm.Min(), sm.Max())
+	}
+}
+
+// Merging split halves must equal accumulating the whole — the property
+// the fleet report's per-network → aggregate rollup relies on.
+func TestStreamMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	values := make([]float64, 501)
+	for i := range values {
+		values[i] = rng.Float64()*100 - 50
+	}
+	for _, split := range []int{0, 1, 250, 500, 501} {
+		var whole, a, b Stream
+		for _, v := range values {
+			whole.Add(v)
+		}
+		for _, v := range values[:split] {
+			a.Add(v)
+		}
+		for _, v := range values[split:] {
+			b.Add(v)
+		}
+		a.Merge(&b)
+		if a.Count != whole.Count || a.MinV != whole.MinV || a.MaxV != whole.MaxV {
+			t.Fatalf("split %d: merged counts/extremes differ", split)
+		}
+		if !almostEqual(a.Mean, whole.Mean, 1e-12) || !almostEqual(a.StdDev(), whole.StdDev(), 1e-9) {
+			t.Errorf("split %d: merged mean/stddev %v/%v, whole %v/%v",
+				split, a.Mean, a.StdDev(), whole.Mean, whole.StdDev())
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.N() != 0 || s.Mean != 0 || s.StdDev() != 0 {
+		t.Errorf("zero stream reports N=%d mean=%v stddev=%v", s.N(), s.Mean, s.StdDev())
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Errorf("zero stream extremes [%v, %v], want [+Inf, -Inf]", s.Min(), s.Max())
+	}
+	var o Stream
+	o.Add(2)
+	s.Merge(&o)
+	if s.Count != 1 || s.Mean != 2 || s.MinV != 2 || s.MaxV != 2 {
+		t.Errorf("empty.Merge(singleton) = %+v", s)
+	}
+	o.Merge(&Stream{})
+	if o.Count != 1 || o.Mean != 2 {
+		t.Errorf("singleton.Merge(empty) = %+v", o)
+	}
+}
+
+func TestIntHist(t *testing.T) {
+	var h IntHist
+	for _, k := range []int{0, 1, 1, 3, 3, 3, -2} {
+		h.Add(k)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d, want 7", h.N())
+	}
+	if got := h.Counts[0]; got != 2 { // the -2 clamps to bin 0
+		t.Errorf("bin 0 = %d, want 2", got)
+	}
+	if !almostEqual(h.Mean(), 11.0/7, 1e-12) {
+		t.Errorf("Mean = %v, want %v", h.Mean(), 11.0/7)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("median = %d, want 1", q)
+	}
+	if q := h.Quantile(1); q != 3 {
+		t.Errorf("max quantile = %d, want 3", q)
+	}
+
+	var a, b IntHist
+	a.Add(0)
+	a.Add(5)
+	b.Add(2)
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 4 || a.Counts[5] != 2 || a.Counts[2] != 1 {
+		t.Errorf("merged hist = %+v", a)
+	}
+	var empty IntHist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Errorf("empty hist quantile/mean non-zero")
+	}
+}

@@ -309,3 +309,60 @@ func TestLargeNFamily(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetScenario(t *testing.T) {
+	sc := Fleet(8, 120, "uniform")
+	if sc.Name != "uniform-m8-n120" {
+		t.Fatalf("scenario name = %q", sc.Name)
+	}
+	if sc.Moves < 1 || sc.Jitter <= 0 {
+		t.Fatalf("degenerate tick profile: %+v", sc)
+	}
+	placements := sc.Placements(9)
+	if len(placements) != sc.M {
+		t.Fatalf("got %d placements, want %d", len(placements), sc.M)
+	}
+	for i, pos := range placements {
+		if len(pos) != sc.N {
+			t.Fatalf("network %d has %d nodes, want %d", i, len(pos), sc.N)
+		}
+		for _, p := range pos {
+			if p.X < 0 || p.X > sc.Side || p.Y < 0 || p.Y > sc.Side {
+				t.Fatalf("network %d: node at %v outside [0,%v]²", i, p, sc.Side)
+			}
+		}
+	}
+	// Networks are independent draws: same index ⇒ same placement even
+	// when M changes; distinct indices ⇒ distinct placements.
+	smaller := Fleet(3, 120, "uniform").Placements(9)
+	for i := range smaller {
+		for j := range smaller[i] {
+			if smaller[i][j] != placements[i][j] {
+				t.Fatalf("network %d depends on fleet size M", i)
+			}
+		}
+	}
+	if placements[0][0] == placements[1][0] && placements[0][1] == placements[1][1] {
+		t.Fatal("networks 0 and 1 look identical; per-network seeds not decorrelated")
+	}
+	clustered := Fleet(2, 200, "clustered").Placements(3)
+	if len(clustered) != 2 || len(clustered[0]) != 200 {
+		t.Fatalf("clustered fleet placements malformed")
+	}
+}
+
+func TestMixDecorrelates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 4; seed++ {
+		for stream := uint64(0); stream < 64; stream++ {
+			v := Mix(seed, stream)
+			if seen[v] {
+				t.Fatalf("Mix collision at seed=%d stream=%d", seed, stream)
+			}
+			seen[v] = true
+		}
+	}
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Fatal("Mix not deterministic")
+	}
+}

@@ -38,6 +38,11 @@ var ErrBadEvent = errors.New("cbtc: invalid session event")
 // are reported as isolated, and Join always appends a fresh ID.
 type Session struct {
 	eng *Engine
+	// workers caps this session's repair parallelism. Standalone
+	// sessions inherit the engine's pool; fleet shards are pinned to
+	// their plan's inner budget so M concurrent sessions don't
+	// multiply into M×GOMAXPROCS goroutines.
+	workers int
 
 	mu     sync.Mutex
 	pos    []Point
@@ -100,7 +105,13 @@ type EventReport struct {
 // maintaining the result under reconfiguration events. The initial
 // computation uses the engine's worker pool. Cancelling ctx aborts it.
 func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error) {
-	exec, err := core.RunParallel(ctx, nodes, e.model, e.cfg.Alpha, e.workers)
+	return e.newSession(ctx, nodes, e.workers)
+}
+
+// newSession is NewSession with an explicit worker budget; fleets pin
+// their shards' sessions to the shard plan's inner budget.
+func (e *Engine) newSession(ctx context.Context, nodes []Point, workers int) (*Session, error) {
+	exec, err := core.RunParallel(ctx, nodes, e.model, e.cfg.Alpha, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +120,7 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 	}
 	s := &Session{
 		eng:         e,
+		workers:     workers,
 		pos:         append([]Point(nil), nodes...),
 		alive:       make([]bool, len(nodes)),
 		nodes:       exec.Nodes,
@@ -123,10 +135,10 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 	if s.incremental {
 		n := len(nodes)
 		s.pruned = make([][]core.Discovery, n)
-		workers := core.ResolveWorkers(e.workers, n)
+		pruneWorkers := core.ResolveWorkers(workers, n)
 		// The per-node prune (coverage arithmetic when shrink-back is on)
 		// is embarrassingly parallel, like the oracle itself.
-		if err := core.ParallelRange(ctx, n, workers, func(_, u int) {
+		if err := core.ParallelRange(ctx, n, pruneWorkers, func(_, u int) {
 			s.pruned[u] = e.pruneNeighbors(exec.Nodes[u].Neighbors)
 		}); err != nil {
 			return nil, err
@@ -142,7 +154,7 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 			s.g = s.nalpha.SymmetricClosure()
 		}
 		// Reuse the session's own grid — it indexes exactly these nodes.
-		s.gr = core.MaxPowerGraphParallelIndexed(nodes, e.model, s.idx, e.workers)
+		s.gr = core.MaxPowerGraphParallelIndexed(nodes, e.model, s.idx, workers)
 	}
 	return s, nil
 }
@@ -355,6 +367,12 @@ func (s *Session) patchGR(id int) {
 func (s *Session) Snapshot() (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot with the session lock already held; Tick
+// and Observe use it for their atomic apply-and-observe paths.
+func (s *Session) snapshotLocked() (*Result, error) {
 	if s.cached != nil {
 		return s.cached, nil
 	}
@@ -393,7 +411,7 @@ func (s *Session) Snapshot() (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cbtc: session snapshot: %w", err)
 	}
-	gr := core.MaxPowerGraphParallel(s.pos, s.eng.model, s.eng.workers)
+	gr := core.MaxPowerGraphParallel(s.pos, s.eng.model, s.workers)
 	for u := range s.alive {
 		if !s.alive[u] {
 			gr.IsolateNode(u)
@@ -408,6 +426,88 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// TickStats is a cheap aggregate read of a session's live topology —
+// the per-tick observation a Fleet accumulates. All metrics range over
+// live nodes only: departed nodes contribute neither components nor
+// degree mass, unlike Result.Components which counts their isolated
+// slots.
+type TickStats struct {
+	// Live is the number of live nodes.
+	Live int
+	// Edges is the number of edges of the live topology G.
+	Edges int
+	// Components is the number of connected components among live nodes.
+	Components int
+	// AvgDegree and AvgRadius are Table 1's statistics over live nodes.
+	AvgDegree, AvgRadius float64
+	// Energy is the summed growing-phase power p_{u,α} of live nodes —
+	// the §5 energy figure of merit.
+	Energy float64
+}
+
+// Observe computes the session's current TickStats. For engines whose
+// optimization stack is per-node local it reads the incrementally-
+// maintained graphs directly — no clone, no Result assembly; with
+// pairwise removal it derives the stats from the (cached) Snapshot.
+func (s *Session) Observe() (TickStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observeLocked()
+}
+
+func (s *Session) observeLocked() (TickStats, error) {
+	g := s.g
+	if !s.incremental {
+		snap, err := s.snapshotLocked()
+		if err != nil {
+			return TickStats{}, err
+		}
+		g = snap.G
+	}
+	ts := TickStats{Edges: g.EdgeCount(), Components: liveComponents(g, s.alive)}
+	for u, alive := range s.alive {
+		if !alive {
+			continue
+		}
+		ts.Live++
+		ts.AvgRadius += graph.NodeRadius(g, s.pos, u)
+		ts.Energy += s.nodes[u].GrowPower
+	}
+	if ts.Live > 0 {
+		ts.AvgDegree = 2 * float64(ts.Edges) / float64(ts.Live)
+		ts.AvgRadius /= float64(ts.Live)
+	}
+	return ts, nil
+}
+
+// liveComponents counts the connected components of g restricted to the
+// live nodes. Edges never touch departed nodes (repairs isolate them),
+// so a BFS seeded at live nodes only ever visits live nodes.
+func liveComponents(g *graph.Graph, alive []bool) int {
+	visited := make([]bool, g.Len())
+	var stack []int32
+	count := 0
+	for u, live := range alive {
+		if !live || visited[u] {
+			continue
+		}
+		count++
+		visited[u] = true
+		stack = append(stack[:0], int32(u))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Row(int(x)) {
+				if !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return count
 }
 
 // Len returns the number of node slots ever allocated, including
@@ -518,8 +618,8 @@ func (s *Session) recompute(ids []int) []int {
 	}
 
 	workers := 1
-	if len(live) >= repairParallelMin && s.eng.workers != 1 {
-		workers = core.ResolveWorkers(s.eng.workers, len(live)*parallelGrain)
+	if len(live) >= repairParallelMin && s.workers != 1 {
+		workers = core.ResolveWorkers(s.workers, len(live)*parallelGrain)
 	}
 	results := make([]recomputed, len(live))
 	runners := make([]core.NodeRunner, workers)

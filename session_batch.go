@@ -88,6 +88,32 @@ type BatchReport struct {
 func (s *Session) ApplyBatch(events []Event) (BatchReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyBatchLocked(events)
+}
+
+// Tick is the fleet-facing tick hook: it applies one batch of events
+// and observes the repaired topology in the same critical section, so a
+// synchronized fleet tick costs one lock acquisition and the observed
+// TickStats cannot interleave with another driver's events. Applying an
+// empty batch is a valid tick — the observation still runs.
+//
+// On a validation error nothing is applied (ApplyBatch's all-or-nothing
+// contract). If the observation itself fails — possible only on the
+// pairwise-stack snapshot rebuild — the batch HAS been applied: the
+// report is returned alongside the error so the caller's event
+// accounting stays consistent with the session state.
+func (s *Session) Tick(events []Event) (BatchReport, TickStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.applyBatchLocked(events)
+	if err != nil {
+		return BatchReport{}, TickStats{}, err
+	}
+	ts, err := s.observeLocked()
+	return rep, ts, err
+}
+
+func (s *Session) applyBatchLocked(events []Event) (BatchReport, error) {
 	var rep BatchReport
 	if len(events) == 0 {
 		return rep, nil
