@@ -18,6 +18,7 @@ package cbtc
 // invariant en passant (failed invariants abort the benchmark).
 
 import (
+	"bytes"
 	"context"
 	"runtime"
 	"slices"
@@ -738,4 +739,60 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkCheckpoint measures the durability layer at n=10000 uniform:
+// /checkpoint serializes a live session (lock-light COW export plus the
+// bulk arena encode) into a reusable buffer, /restore decodes and
+// revalidates it back into a live session (including the spatial-index
+// and reconfigurator rebuild). Fleet checkpoints are m independent
+// session bodies behind one header, so the session-level numbers are
+// the per-network cost. BENCH_PR6.json gates both absolutes and their
+// allocation ceilings.
+func BenchmarkCheckpoint(b *testing.B) {
+	var sc workload.LargeNScenario
+	for _, s := range workload.LargeN() {
+		if s.N == 10000 && s.Kind == "uniform" {
+			sc = s
+		}
+	}
+	ctx := context.Background()
+	eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := eng.NewSession(ctx, sc.Placement(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := bytes.Clone(buf.Bytes())
+
+	b.Run(sc.Name+"/checkpoint", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := sess.Checkpoint(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "checkpoint-bytes")
+	})
+	b.Run(sc.Name+"/restore", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			restored, err := eng.RestoreSession(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if restored.Len() != sess.Len() {
+				b.Fatal("restored session truncated")
+			}
+		}
+	})
 }

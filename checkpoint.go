@@ -1,0 +1,269 @@
+package cbtc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"cbtc/internal/codec"
+	"cbtc/internal/core"
+	"cbtc/internal/spatial"
+)
+
+// Checkpoint/restore errors. The codec-level sentinels are re-exported
+// so callers can classify failures with errors.Is without reaching into
+// the internal package.
+var (
+	// ErrConfigMismatch reports a checkpoint produced under a different
+	// engine configuration than the one restoring it. A checkpoint is only
+	// meaningful under the exact protocol parameters (α, radio model,
+	// optimization stack, tag quantization) that produced it — restoring
+	// under anything else would silently change what the serialized fixed
+	// point means, so it is refused instead.
+	ErrConfigMismatch = errors.New("cbtc: checkpoint engine config mismatch")
+	// ErrNotCheckpoint reports input that is not a cbtc checkpoint at all.
+	ErrNotCheckpoint = codec.ErrBadMagic
+	// ErrCheckpointVersion reports a checkpoint written by an
+	// incompatible format version.
+	ErrCheckpointVersion = codec.ErrVersion
+	// ErrCheckpointKind reports a session checkpoint fed to RestoreFleet
+	// or a fleet checkpoint fed to RestoreSession.
+	ErrCheckpointKind = codec.ErrWrongKind
+	// ErrCheckpointCorrupt reports a structurally invalid or truncated
+	// checkpoint.
+	ErrCheckpointCorrupt = codec.ErrCorrupt
+)
+
+// fingerprint captures the engine's full resolved protocol configuration
+// in the checkpoint format's fixed-width shape.
+func (e *Engine) fingerprint() codec.EngineConfig {
+	return codec.EngineConfig{
+		Alpha:             e.cfg.Alpha,
+		MaxRadius:         e.cfg.MaxRadius,
+		PathLossExponent:  e.cfg.PathLossExponent,
+		ShrinkBack:        e.opts.ShrinkBack,
+		AsymmetricRemoval: e.opts.AsymmetricRemoval,
+		PairwiseRemoval:   e.opts.PairwiseRemoval,
+		NonContributing:   e.opts.NonContributing,
+		PairwisePolicy:    uint8(e.opts.PairwisePolicy),
+		ScheduleFactor:    e.scheduleFactor,
+	}
+}
+
+// checkFingerprint verifies a checkpoint's embedded engine fingerprint
+// against this engine's.
+func (e *Engine) checkFingerprint(got codec.EngineConfig) error {
+	if want := e.fingerprint(); got != want {
+		return fmt.Errorf("%w: checkpoint %+v, engine %+v", ErrConfigMismatch, got, want)
+	}
+	return nil
+}
+
+// Checkpoint serializes the session's complete state to w in the
+// versioned binary format of internal/codec. The session lock is held
+// only while slice headers and copy-on-write graph clones are captured —
+// O(n), no per-edge work — so concurrent events resume immediately while
+// the actual encoding streams from the frozen snapshot. The restored
+// session (Engine.RestoreSession) is edge-identical to this one,
+// including the ground-truth G_R, and continues producing byte-identical
+// results under the same event schedule.
+func (s *Session) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	st := s.exportLocked()
+	s.mu.Unlock()
+	return codec.EncodeSession(w, st)
+}
+
+// exportLocked freezes the session state for encoding. Positions and
+// liveness are copied outright; the node and pruned rows copy only the
+// outer slice headers (installed discovery rows are immutable — every
+// repair installs freshly-built rows); the maintained graphs are
+// copy-on-write clones. Everything else a live session holds (the
+// reconfigurators, the spatial index, the snapshot cache) is derived
+// state that restore rebuilds.
+func (s *Session) exportLocked() *codec.SessionState {
+	st := &codec.SessionState{
+		Config: s.eng.fingerprint(),
+		Pos:    append([]Point(nil), s.pos...),
+		Alive:  append([]bool(nil), s.alive...),
+		Nodes:  append([]core.NodeResult(nil), s.nodes...),
+		Stats: codec.SessionCounters{
+			Joins:        int64(s.stats.Joins),
+			Leaves:       int64(s.stats.Leaves),
+			Moves:        int64(s.stats.Moves),
+			AngleChanges: int64(s.stats.AngleChanges),
+			Regrows:      int64(s.stats.Regrows),
+			Repairs:      int64(s.stats.Repairs),
+		},
+		Incremental: s.incremental,
+	}
+	if s.incremental {
+		st.Pruned = append([][]core.Discovery(nil), s.pruned...)
+		st.Nalpha = s.nalpha.Clone()
+		st.G = s.g.Clone()
+		st.GR = s.gr.Clone()
+	}
+	return st
+}
+
+// RestoreSession rebuilds a Session from a checkpoint written by
+// Session.Checkpoint. The checkpoint's engine fingerprint must match
+// this engine exactly (ErrConfigMismatch otherwise); corrupt, truncated
+// or alien input yields a typed error (ErrNotCheckpoint,
+// ErrCheckpointVersion, ErrCheckpointKind, ErrCheckpointCorrupt), never
+// a panic. The restored session is edge-identical to the checkpointed
+// one — N_α, G and the ground-truth G_R — and evolves identically under
+// the same events, at any worker count.
+func (e *Engine) RestoreSession(r io.Reader) (*Session, error) {
+	st, err := codec.DecodeSession(r)
+	if err != nil {
+		return nil, err
+	}
+	return e.sessionFromState(st, e.workers)
+}
+
+// sessionFromState rebuilds a live session around decoded state. The
+// serialized vectors are adopted directly (the decoder built them fresh);
+// the derived state — per-node reconfigurators, the spatial index — is
+// reconstructed, which is exact: a reconfigurator's state is a pure
+// function of its node's installed neighbor row, and the grid of the
+// positions and liveness vector.
+func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session, error) {
+	if err := e.checkFingerprint(st.Config); err != nil {
+		return nil, err
+	}
+	// The decoder ties the incremental section's presence to the flag;
+	// here the flag must also agree with what the (already matched)
+	// fingerprint implies, or the graphs a live session relies on would
+	// be missing.
+	if st.Incremental != !e.opts.PairwiseRemoval {
+		return nil, fmt.Errorf("%w: incremental flag %v under pairwise-removal %v", ErrCheckpointCorrupt, st.Incremental, e.opts.PairwiseRemoval)
+	}
+	n := len(st.Pos)
+	s := &Session{
+		eng:     e,
+		workers: workers,
+		pos:     st.Pos,
+		alive:   st.Alive,
+		nodes:   st.Nodes,
+		recs:    make([]*core.Reconfigurator, n),
+		idx:     spatial.New(st.Pos, e.model.MaxRadius),
+		stats: SessionStats{
+			Joins:        int(st.Stats.Joins),
+			Leaves:       int(st.Stats.Leaves),
+			Moves:        int(st.Stats.Moves),
+			AngleChanges: int(st.Stats.AngleChanges),
+			Regrows:      int(st.Stats.Regrows),
+			Repairs:      int(st.Stats.Repairs),
+		},
+		incremental: st.Incremental,
+	}
+	for id, alive := range st.Alive {
+		if !alive {
+			s.idx.Remove(id)
+			continue
+		}
+		s.recs[id] = core.NewReconfigurator(e.cfg.Alpha, e.model, st.Nodes[id].Neighbors)
+	}
+	if st.Incremental {
+		s.pruned = st.Pruned
+		s.nalpha = st.Nalpha
+		s.g = st.G
+		s.gr = st.GR
+	}
+	return s, nil
+}
+
+// Checkpoint serializes the fleet's complete state to w: the shared
+// engine fingerprint, the tick target, and per network its RNG stream
+// position, tick/event counters, statistics accumulators and full
+// session state. The fleet lock is held only while the per-network
+// snapshots are captured (slice headers, COW graph clones and ~20-byte
+// RNG states); encoding streams off-lock, so a fleet driven tick-by-tick
+// (TickEvents) keeps ticking while a checkpoint is written.
+func (f *Fleet) Checkpoint(w io.Writer) error {
+	f.mu.Lock()
+	st := &codec.FleetState{
+		Config: f.eng.fingerprint(),
+		Target: int64(f.target),
+		Nets:   make([]codec.NetworkState, len(f.nets)),
+	}
+	var err error
+	for i, net := range f.nets {
+		var rngState []byte
+		if rngState, err = net.src.MarshalBinary(); err != nil {
+			break
+		}
+		net.sess.mu.Lock()
+		ss := net.sess.exportLocked()
+		net.sess.mu.Unlock()
+		st.Nets[i] = codec.NetworkState{
+			RNG:        rngState,
+			Done:       int64(net.done),
+			Events:     int64(net.events),
+			Degree:     net.degree,
+			Radius:     net.radius,
+			Components: net.comps,
+			Energy:     net.energy,
+			Session:    *ss,
+		}
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return codec.EncodeFleet(w, st)
+}
+
+// RestoreFleet rebuilds a Fleet from a checkpoint written by
+// Fleet.Checkpoint, under this engine's worker budget (build the engine
+// with WithWorkers to restore onto a different pool size — per-network
+// results are worker-count invariant either way). The checkpoint's
+// engine fingerprint must match exactly (ErrConfigMismatch); invalid
+// input yields the same typed errors as RestoreSession. The restored
+// fleet's sessions are edge-identical to the originals, its RNG streams
+// resume at their exact positions, and continuing it — Run or
+// TickEvents — produces byte-identical reports to the uninterrupted
+// fleet.
+func (e *Engine) RestoreFleet(r io.Reader) (*Fleet, error) {
+	st, err := codec.DecodeFleet(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkFingerprint(st.Config); err != nil {
+		return nil, err
+	}
+	m := len(st.Nets)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: fleet checkpoint holds no networks", ErrCheckpointCorrupt)
+	}
+	f := &Fleet{eng: e, workers: e.workers, nets: make([]*fleetNetwork, m), target: int(st.Target)}
+	plan := planShards(f.workers, m)
+	for i := range st.Nets {
+		ns := &st.Nets[i]
+		if int(ns.Done) > f.target {
+			return nil, fmt.Errorf("%w: network %d at tick %d beyond target %d", ErrCheckpointCorrupt, i, ns.Done, st.Target)
+		}
+		src := &rand.PCG{}
+		if err := src.UnmarshalBinary(ns.RNG); err != nil {
+			return nil, fmt.Errorf("%w: network %d rng state: %v", ErrCheckpointCorrupt, i, err)
+		}
+		sess, err := e.sessionFromState(&ns.Session, plan.inner)
+		if err != nil {
+			return nil, fmt.Errorf("network %d: %w", i, err)
+		}
+		f.nets[i] = &fleetNetwork{
+			sess:   sess,
+			src:    src,
+			rng:    rand.New(src),
+			done:   int(ns.Done),
+			events: int(ns.Events),
+			degree: ns.Degree,
+			radius: ns.Radius,
+			comps:  ns.Components,
+			energy: ns.Energy,
+		}
+	}
+	return f, nil
+}

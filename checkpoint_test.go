@@ -1,0 +1,413 @@
+package cbtc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"cbtc/internal/workload"
+)
+
+// checkpointStacks are the option stacks the durability layer is gated
+// on: the basic algorithm, the per-node-local optimizations (incremental
+// sessions), the pairwise stack (non-incremental sessions), the
+// asymmetric-removal regime, and tag quantization.
+var checkpointStacks = []struct {
+	name string
+	opts []Option
+}{
+	{"basic", []Option{WithMaxRadius(500)}},
+	{"shrink-back", []Option{WithMaxRadius(500), WithShrinkBack()}},
+	{"all-ops", []Option{WithMaxRadius(500), WithAllOptimizations()}},
+	{"asym-2pi3", []Option{WithMaxRadius(500), WithAlpha(AlphaAsymmetric), WithShrinkBack(), WithAsymmetricRemoval()}},
+	{"quantized", []Option{WithMaxRadius(500), WithShrinkBack(), WithShrinkBackSchedule(1.5)}},
+}
+
+// requireSessionsIdentical asserts two sessions expose identical state:
+// same snapshot graphs (G and the ground-truth G_R), radii, powers,
+// liveness, statistics — and, for incremental sessions, identical
+// maintained internal graphs including N_α.
+func requireSessionsIdentical(t *testing.T, a, b *Session) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("id space %d != %d", a.Len(), b.Len())
+	}
+	for id := 0; id < a.Len(); id++ {
+		if a.Alive(id) != b.Alive(id) {
+			t.Fatalf("node %d liveness %v != %v", id, a.Alive(id), b.Alive(id))
+		}
+		if a.Position(id) != b.Position(id) {
+			t.Fatalf("node %d position %v != %v", id, a.Position(id), b.Position(id))
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats %+v != %+v", a.Stats(), b.Stats())
+	}
+	if a.incremental != b.incremental {
+		t.Fatalf("incremental %v != %v", a.incremental, b.incremental)
+	}
+	if a.incremental {
+		if !a.nalpha.Equal(b.nalpha) {
+			t.Fatal("maintained N_α differs")
+		}
+		if !a.g.Equal(b.g) {
+			t.Fatal("maintained G differs")
+		}
+		if !a.gr.Equal(b.gr) {
+			t.Fatal("maintained G_R differs")
+		}
+	}
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sa.G.Equal(sb.G) {
+		t.Fatal("snapshot G differs")
+	}
+	if !sa.GR.Equal(sb.GR) {
+		t.Fatal("snapshot G_R differs")
+	}
+	if !reflect.DeepEqual(sa.Radii, sb.Radii) || !reflect.DeepEqual(sa.Powers, sb.Powers) {
+		t.Fatal("snapshot radii/powers differ")
+	}
+	if !reflect.DeepEqual(sa.Boundary, sb.Boundary) {
+		t.Fatal("snapshot boundary flags differ")
+	}
+}
+
+// TestSessionCheckpointRoundTrip is the tentpole gate: across every
+// option stack, a session that has seen a random event history
+// checkpoints, restores edge-identically (including G_R), still matches
+// a fresh run, and then evolves byte-identically to the original under
+// the same continued event stream.
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	for _, st := range checkpointStacks {
+		st := st
+		t.Run(st.name, func(t *testing.T) {
+			eng, err := New(st.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := eng.NewSession(context.Background(), someNetwork(21, 40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := workload.Rand(97)
+			for step := 0; step < 6; step++ {
+				if _, err := sess.ApplyBatch(randomBatch(rng, sess, 4, 1500)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := sess.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := eng.RestoreSession(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSessionsIdentical(t, sess, restored)
+			requireSessionMatchesFreshRun(t, eng, restored)
+
+			// Continue both copies under the identical event stream: every
+			// tick must produce byte-identical reports and observations.
+			for step := 0; step < 6; step++ {
+				batch := randomBatch(rng, sess, 4, 1500)
+				repA, tsA, errA := sess.Tick(batch)
+				repB, tsB, errB := restored.Tick(batch)
+				if errA != nil || errB != nil {
+					t.Fatalf("tick %d: %v / %v", step, errA, errB)
+				}
+				if !reflect.DeepEqual(repA, repB) {
+					t.Fatalf("tick %d: reports diverge:\n%+v\n%+v", step, repA, repB)
+				}
+				if tsA != tsB {
+					t.Fatalf("tick %d: observations diverge: %+v != %+v", step, tsA, tsB)
+				}
+			}
+			requireSessionsIdentical(t, sess, restored)
+			requireSessionMatchesFreshRun(t, eng, restored)
+		})
+	}
+}
+
+// TestSessionCheckpointConcurrent checkpoints a session while another
+// goroutine keeps applying events. Every checkpoint must decode into a
+// consistent session that matches a fresh run over its own live
+// placement — the COW-snapshot contract of Checkpoint (and, under
+// -race, proof that encoding off-lock shares no mutable state).
+func TestSessionCheckpointConcurrent(t *testing.T) {
+	eng, err := New(WithMaxRadius(500), WithShrinkBack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(context.Background(), someNetwork(3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := workload.Rand(5)
+		for i := 0; i < 40; i++ {
+			if _, err := sess.ApplyBatch(randomBatch(rng, sess, 4, 1500)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := sess.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := eng.RestoreSession(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSessionMatchesFreshRun(t, eng, restored)
+	}
+	<-done
+}
+
+// TestCheckpointConfigMismatch: restoring under any different engine
+// configuration is refused with ErrConfigMismatch, for sessions and
+// fleets alike.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	engA, err := New(WithMaxRadius(500), WithShrinkBack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	others := [][]Option{
+		{WithMaxRadius(500)},                                                // different stack
+		{WithMaxRadius(400), WithShrinkBack()},                              // different radius
+		{WithMaxRadius(500), WithShrinkBack(), WithAlpha(2.0)},              // different α
+		{WithMaxRadius(500), WithShrinkBack(), WithPathLoss(4)},             // different model
+		{WithMaxRadius(500), WithShrinkBack(), WithShrinkBackSchedule(1.5)}, // quantized
+	}
+
+	sess, err := engA.NewSession(context.Background(), someNetwork(9, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := sess.Checkpoint(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := engA.NewFleet(context.Background(), FleetConfig{Placements: [][]Point{someNetwork(9, 20), someNetwork(10, 20)}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fbuf bytes.Buffer
+	if err := fleet.Checkpoint(&fbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, opts := range others {
+		engB, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engB.RestoreSession(bytes.NewReader(sbuf.Bytes())); !errors.Is(err, ErrConfigMismatch) {
+			t.Errorf("engine %d session restore: got %v, want ErrConfigMismatch", i, err)
+		}
+		if _, err := engB.RestoreFleet(bytes.NewReader(fbuf.Bytes())); !errors.Is(err, ErrConfigMismatch) {
+			t.Errorf("engine %d fleet restore: got %v, want ErrConfigMismatch", i, err)
+		}
+	}
+	// The producing engine itself restores fine.
+	if _, err := engA.RestoreSession(bytes.NewReader(sbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engA.RestoreFleet(bytes.NewReader(fbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreErrorPaths: hostile and mangled inputs yield the typed
+// public errors, never a panic.
+func TestRestoreErrorPaths(t *testing.T) {
+	eng, err := New(WithMaxRadius(500), WithShrinkBack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(context.Background(), someNetwork(2, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := sess.Checkpoint(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := eng.NewFleet(context.Background(), FleetConfig{Placements: [][]Point{someNetwork(4, 15)}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fbuf bytes.Buffer
+	if err := fleet.Checkpoint(&fbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := eng.RestoreSession(bytes.NewReader([]byte("not a checkpoint"))); !errors.Is(err, ErrNotCheckpoint) {
+		t.Errorf("garbage: got %v, want ErrNotCheckpoint", err)
+	}
+	verFlip := bytes.Clone(sbuf.Bytes())
+	verFlip[4] ^= 0xff
+	if _, err := eng.RestoreSession(bytes.NewReader(verFlip)); !errors.Is(err, ErrCheckpointVersion) {
+		t.Errorf("version flip: got %v, want ErrCheckpointVersion", err)
+	}
+	if _, err := eng.RestoreSession(bytes.NewReader(fbuf.Bytes())); !errors.Is(err, ErrCheckpointKind) {
+		t.Errorf("fleet into RestoreSession: got %v, want ErrCheckpointKind", err)
+	}
+	if _, err := eng.RestoreFleet(bytes.NewReader(sbuf.Bytes())); !errors.Is(err, ErrCheckpointKind) {
+		t.Errorf("session into RestoreFleet: got %v, want ErrCheckpointKind", err)
+	}
+	// Every strict prefix of a valid checkpoint is truncated input.
+	for _, cut := range []int{7, 16, sbuf.Len() / 2, sbuf.Len() - 1} {
+		if _, err := eng.RestoreSession(bytes.NewReader(sbuf.Bytes()[:cut])); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("truncated at %d: got %v, want ErrCheckpointCorrupt", cut, err)
+		}
+	}
+	for _, cut := range []int{7, fbuf.Len() / 2, fbuf.Len() - 1} {
+		if _, err := eng.RestoreFleet(bytes.NewReader(fbuf.Bytes()[:cut])); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("fleet truncated at %d: got %v, want ErrCheckpointCorrupt", cut, err)
+		}
+	}
+}
+
+// TestFleetCheckpointRoundTrip is the fleet-level acceptance gate: a
+// fleet checkpointed mid-run restores to an identical report, and —
+// restored at several worker counts — continues to byte-identical
+// reports versus the uninterrupted original.
+func TestFleetCheckpointRoundTrip(t *testing.T) {
+	sc := workload.Fleet(3, 50, "uniform")
+	tick := DriftTick(TickProfile{
+		Moves: sc.Moves, Jitter: sc.Jitter,
+		JoinProb: sc.JoinProb, LeaveProb: sc.LeaveProb,
+		Width: sc.Side, Height: sc.Side,
+	})
+	eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := eng.NewFleet(context.Background(), FleetConfig{Placements: sc.Placements(11), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Run(context.Background(), 5, tick); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := fleet.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	repAtCkpt, err := fleet.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uninterrupted reference: the original fleet keeps running.
+	refRep, err := fleet.Run(context.Background(), 5, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []int{0, 1, 3} {
+		engW, err := New(WithMaxRadius(sc.Radius), WithShrinkBack(), WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := engW.RestoreFleet(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		rep0, err := restored.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep0, repAtCkpt) {
+			t.Fatalf("workers=%d: restored report differs from checkpoint-time report", w)
+		}
+		rep, err := restored.Run(context.Background(), 5, tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, refRep) {
+			t.Fatalf("workers=%d: continued report diverges from uninterrupted run", w)
+		}
+	}
+}
+
+// TestFleetTickEvents covers the external-ingestion tick: equivalence
+// with a Run over the same event schedule, all-or-nothing validation,
+// and the batch-count contract.
+func TestFleetTickEvents(t *testing.T) {
+	placements := [][]Point{someNetwork(31, 30), someNetwork(32, 30)}
+	newFleet := func() *Fleet {
+		eng, err := New(WithMaxRadius(500), WithShrinkBack())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := eng.NewFleet(context.Background(), FleetConfig{Placements: placements, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	// A fixed three-tick schedule touching stable ids only.
+	schedule := [][][]Event{
+		{{JoinEvent(Pt(100, 100))}, {MoveEvent(2, Pt(40, 40))}},
+		{{LeaveEvent(0), MoveEvent(3, Pt(700, 700))}, nil},
+		{nil, {LeaveEvent(1), JoinEvent(Pt(900, 120))}},
+	}
+
+	viaEvents := newFleet()
+	for _, batches := range schedule {
+		if err := viaEvents.TickEvents(context.Background(), batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaRun := newFleet()
+	repRun, err := viaRun.Run(context.Background(), len(schedule), func(net, tick int, _ *rand.Rand, _ *Session) []Event {
+		return schedule[tick][net]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEvents, err := viaEvents.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repEvents, repRun) {
+		t.Fatalf("TickEvents fleet diverges from Run fleet:\n%+v\n%+v", repEvents, repRun)
+	}
+
+	// Validation is all-or-nothing across the whole fleet.
+	before, err := viaEvents.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Event{{LeaveEvent(10_000)}, {JoinEvent(Pt(1, 1))}}
+	if err := viaEvents.TickEvents(context.Background(), bad); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("invalid batch: got %v, want ErrBadEvent", err)
+	}
+	after, err := viaEvents.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("rejected tick mutated the fleet")
+	}
+	if err := viaEvents.TickEvents(context.Background(), [][]Event{nil}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("batch-count mismatch: got %v, want ErrBadEvent", err)
+	}
+}

@@ -19,6 +19,13 @@
 //	dynsim -f scenario.json [-mode proto|session]
 //	dynsim -demo            # run the built-in crash-and-replace demo
 //
+// In session mode the evolving state is durable: -checkpoint FILE
+// writes the final session state as a versioned binary checkpoint, and
+// -resume FILE starts from a previously written checkpoint instead of
+// the scenario's initial placement (the scenario's engine parameters
+// must match the ones the checkpoint was produced under), replaying the
+// scenario's event timeline on top of the restored topology.
+//
 // Scenario format (times are relative to the end of the settle phase):
 //
 //	{
@@ -64,6 +71,8 @@ func main() {
 	file := flag.String("f", "", "scenario JSON file")
 	demo := flag.Bool("demo", false, "run the built-in demo scenario")
 	mode := flag.String("mode", "proto", "execution mode: proto (distributed simulator) | session (library Session API)")
+	ckpt := flag.String("checkpoint", "", "session mode: write the final session state to this file")
+	resume := flag.String("resume", "", "session mode: restore the session from this checkpoint instead of the scenario placement")
 	flag.Parse()
 
 	var s *scenario.Scenario
@@ -86,9 +95,13 @@ func main() {
 
 	switch *mode {
 	case "proto":
+		if *ckpt != "" || *resume != "" {
+			fmt.Fprintln(os.Stderr, "dynsim: -checkpoint and -resume require -mode session")
+			os.Exit(1)
+		}
 		runProto(s)
 	case "session":
-		runSession(s)
+		runSession(s, *ckpt, *resume)
 	default:
 		fmt.Fprintf(os.Stderr, "dynsim: unknown mode %q (want proto or session)\n", *mode)
 		os.Exit(1)
@@ -125,11 +138,7 @@ func runProto(s *scenario.Scenario) {
 // Session.ApplyBatch call — the timeline only observes the topology at
 // checkpoints, so each inter-checkpoint burst repairs as a single
 // region-union recompute.
-func runSession(s *scenario.Scenario) {
-	nodes := make([]cbtc.Point, len(s.Nodes))
-	for i, xy := range s.Nodes {
-		nodes[i] = cbtc.Pt(xy[0], xy[1])
-	}
+func runSession(s *scenario.Scenario, ckpt, resume string) {
 	opts := []cbtc.Option{cbtc.WithMaxRadius(s.MaxRadius)}
 	if s.Alpha != 0 {
 		opts = append(opts, cbtc.WithAlpha(s.Alpha))
@@ -139,10 +148,27 @@ func runSession(s *scenario.Scenario) {
 		fmt.Fprintln(os.Stderr, "dynsim:", err)
 		os.Exit(1)
 	}
-	sess, err := eng.NewSession(context.Background(), nodes)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dynsim:", err)
-		os.Exit(1)
+	var sess *cbtc.Session
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err == nil {
+			sess, err = eng.RestoreSession(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim: resume:", err)
+			os.Exit(1)
+		}
+	} else {
+		nodes := make([]cbtc.Point, len(s.Nodes))
+		for i, xy := range s.Nodes {
+			nodes[i] = cbtc.Pt(xy[0], xy[1])
+		}
+		sess, err = eng.NewSession(context.Background(), nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("dynamic scenario (library Session): %d initial nodes, %d events\n\n",
@@ -191,6 +217,21 @@ func runSession(s *scenario.Scenario) {
 	flush()
 	finalOK := check(-1, "final")
 	fmt.Print(tb.String())
+
+	if ckpt != "" {
+		f, err := os.Create(ckpt)
+		if err == nil {
+			err = sess.Checkpoint(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynsim: checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsession state checkpointed to %s\n", ckpt)
+	}
 
 	st := sess.Stats()
 	fmt.Printf("\nreconfiguration events: %d joins, %d leaves, %d moves, %d angle changes, %d regrows, %d repairs\n",

@@ -1,0 +1,436 @@
+// Command fleetd is a long-lived fleet daemon: it restores a CBTC(α)
+// fleet from a checkpoint (or builds a fresh one), ingests a stream of
+// Join/Leave/Move events, coalesces them into synchronized fleet ticks,
+// serves topology queries while ticking continues, and checkpoints the
+// complete fleet state — sessions, RNG streams, accumulators — on an
+// interval and on graceful shutdown. Restarting it from the checkpoint
+// resumes exactly where it stopped: the restored topology is
+// edge-identical, the RNG streams continue at their saved positions.
+//
+// Usage:
+//
+//	fleetd -checkpoint fleet.ckpt [-http :8080]
+//	       [-m 4] [-n 100] [-kind uniform|clustered] [-seed 7]
+//	       [-tick 100ms] [-checkpoint-interval 30s]
+//	       [-queue 4096] [-workers 0]
+//
+// If the checkpoint file exists the fleet is restored from it and the
+// scenario flags are ignored; otherwise a fresh fleet of M networks of
+// N nodes is built. Checkpoint writes are atomic (temp file + rename),
+// so a crash mid-write never corrupts the last good checkpoint.
+//
+// Events are newline-delimited JSON objects:
+//
+//	{"op":"join","net":0,"x":120.5,"y":340.0}
+//	{"op":"leave","net":0,"id":17}
+//	{"op":"move","net":1,"id":3,"x":88.0,"y":12.5}
+//
+// Without -http, events are read from stdin with blocking backpressure
+// (EOF triggers a final tick, a checkpoint, and a clean exit). With
+// -http, the daemon serves:
+//
+//	POST /events      ingest newline-framed events (429 when the queue is full)
+//	GET  /healthz     liveness plus ingestion counters
+//	GET  /report      the aggregated FleetReport as JSON
+//	GET  /network/{i} one network's topology metrics and §4 counters
+//	POST /checkpoint  force a checkpoint write now
+//
+// Ingestion is decoupled from repair by a bounded queue: each tick
+// drains the queue, validates events against each network's projected
+// liveness (bad events are counted and dropped, never crash a network),
+// and applies each network's burst as one batched repair
+// (Fleet.TickEvents). Queries run concurrently off copy-on-write
+// snapshots; they never block the tick loop.
+//
+// SIGINT/SIGTERM drain the queue, apply a final tick, write a final
+// checkpoint, and exit 0.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cbtc"
+	"cbtc/internal/workload"
+)
+
+func main() {
+	var (
+		ckptPath = flag.String("checkpoint", "", "checkpoint file (restore from it if present; write to it on interval and shutdown)")
+		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval (0 = only on shutdown)")
+		httpAddr = flag.String("http", "", "HTTP listen address (empty = read events from stdin)")
+		tickIvl  = flag.Duration("tick", 100*time.Millisecond, "event-coalescing tick interval")
+		queueCap = flag.Int("queue", 4096, "ingestion queue capacity (backpressure bound)")
+		m        = flag.Int("m", 4, "networks in a fresh fleet")
+		n        = flag.Int("n", 100, "nodes per network in a fresh fleet")
+		kind     = flag.String("kind", "uniform", "fresh-fleet placement kind: uniform | clustered")
+		seed     = flag.Uint64("seed", 7, "fresh-fleet base seed")
+		workers  = flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *tickIvl <= 0 || *queueCap <= 0 || *m <= 0 || *n <= 0 {
+		fail(errors.New("fleetd: -tick, -queue, -m and -n must be positive"))
+	}
+
+	// The engine stack is fixed (paper radius, shrink-back on), so a
+	// checkpoint written by fleetd is always restorable by fleetd.
+	sc := workload.Fleet(*m, *n, *kind)
+	eng, err := cbtc.New(cbtc.WithMaxRadius(sc.Radius), cbtc.WithShrinkBack(), cbtc.WithWorkers(*workers))
+	if err != nil {
+		fail(err)
+	}
+
+	fleet, restored, err := loadOrCreate(eng, *ckptPath, sc, *seed)
+	if err != nil {
+		fail(err)
+	}
+	d := &daemon{
+		fleet:    fleet,
+		ckptPath: *ckptPath,
+		queue:    make(chan wireEvent, *queueCap),
+	}
+	if restored {
+		log.Printf("fleetd: restored %d networks from %s", fleet.Size(), *ckptPath)
+	} else {
+		log.Printf("fleetd: built fresh fleet: %d networks × %d nodes (%s, seed %d)", *m, *n, *kind, *seed)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		srv = &http.Server{Addr: *httpAddr, Handler: d.routes()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fail(err)
+			}
+		}()
+		log.Printf("fleetd: serving on %s", *httpAddr)
+	} else {
+		// stdin mode: enqueue with blocking backpressure; EOF initiates the
+		// same graceful shutdown as a signal.
+		go func() {
+			d.readEvents(os.Stdin, true)
+			stop()
+		}()
+	}
+
+	d.loop(ctx, *tickIvl, *ckptIvl)
+
+	if srv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}
+	log.Printf("fleetd: shut down cleanly after %d ticks (%d events applied, %d rejected, %d dropped)",
+		d.ticks.Load(), d.applied.Load(), d.rejected.Load(), d.dropped.Load())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetd:", err)
+	os.Exit(1)
+}
+
+// loadOrCreate restores the fleet from path when the file exists, and
+// builds a fresh one from the scenario otherwise.
+func loadOrCreate(eng *cbtc.Engine, path string, sc workload.FleetScenario, seed uint64) (*cbtc.Fleet, bool, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			defer f.Close()
+			fleet, err := eng.RestoreFleet(f)
+			if err != nil {
+				return nil, false, fmt.Errorf("restore %s: %w", path, err)
+			}
+			return fleet, true, nil
+		case !os.IsNotExist(err):
+			return nil, false, err
+		}
+	}
+	fleet, err := eng.NewFleet(context.Background(), cbtc.FleetConfig{Placements: sc.Placements(seed), Seed: seed})
+	return fleet, false, err
+}
+
+// wireEvent is the ingestion JSON shape.
+type wireEvent struct {
+	Op  string  `json:"op"`
+	Net int     `json:"net"`
+	ID  int     `json:"id"`
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+}
+
+// daemon owns the tick loop; HTTP handlers and the stdin reader touch
+// only the queue, the atomic counters, and the fleet's own thread-safe
+// query surface.
+type daemon struct {
+	fleet    *cbtc.Fleet
+	ckptPath string
+	queue    chan wireEvent
+
+	ticks    atomic.Int64 // completed coalescing ticks
+	applied  atomic.Int64 // events applied to sessions
+	rejected atomic.Int64 // events dropped at validation (bad net/id/liveness)
+	dropped  atomic.Int64 // events refused at ingestion (queue full)
+}
+
+// loop is the daemon's single mutation path: it alone advances the
+// fleet, so ticks, checkpoints and the final drain never race.
+func (d *daemon) loop(ctx context.Context, tickIvl, ckptIvl time.Duration) {
+	ticker := time.NewTicker(tickIvl)
+	defer ticker.Stop()
+	var ckptC <-chan time.Time
+	if d.ckptPath != "" && ckptIvl > 0 {
+		ck := time.NewTicker(ckptIvl)
+		defer ck.Stop()
+		ckptC = ck.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			// Graceful shutdown: apply whatever is queued, then persist.
+			d.tickOnce()
+			if err := d.writeCheckpoint(); err != nil {
+				fail(err)
+			}
+			return
+		case <-ticker.C:
+			d.tickOnce()
+		case <-ckptC:
+			if err := d.writeCheckpoint(); err != nil {
+				log.Printf("fleetd: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// tickOnce drains the queue, validates each event against its network's
+// liveness as projected through the earlier events of the same tick
+// (mirroring ApplyBatch's rules, so one bad event is dropped instead of
+// voiding the whole batch), and applies one synchronized fleet tick.
+func (d *daemon) tickOnce() {
+	batches := make([][]cbtc.Event, d.fleet.Size())
+	proj := make([]liveProjection, d.fleet.Size())
+	applied := 0
+drain:
+	for {
+		select {
+		case ev := <-d.queue:
+			if ev.Net < 0 || ev.Net >= d.fleet.Size() {
+				d.rejected.Add(1)
+				continue
+			}
+			p := &proj[ev.Net]
+			p.init(d.fleet.Session(ev.Net))
+			switch ev.Op {
+			case "join":
+				p.admit()
+				batches[ev.Net] = append(batches[ev.Net], cbtc.JoinEvent(cbtc.Pt(ev.X, ev.Y)))
+			case "leave":
+				if !p.live(ev.ID) {
+					d.rejected.Add(1)
+					continue
+				}
+				p.depart(ev.ID)
+				batches[ev.Net] = append(batches[ev.Net], cbtc.LeaveEvent(ev.ID))
+			case "move":
+				if !p.live(ev.ID) {
+					d.rejected.Add(1)
+					continue
+				}
+				batches[ev.Net] = append(batches[ev.Net], cbtc.MoveEvent(ev.ID, cbtc.Pt(ev.X, ev.Y)))
+			default:
+				d.rejected.Add(1)
+				continue
+			}
+			applied++
+		default:
+			break drain
+		}
+	}
+	// An empty tick is still a tick: the fleet observes every network, so
+	// the accumulator series reflect daemon time like a Run-driven fleet.
+	if err := d.fleet.TickEvents(context.Background(), batches); err != nil {
+		// Pre-validation makes this unreachable short of a fleet-level
+		// failure; a half-applied tick must not keep serving.
+		fail(err)
+	}
+	d.ticks.Add(1)
+	d.applied.Add(int64(applied))
+}
+
+// liveProjection tracks one network's liveness as this tick's batch
+// would leave it, lazily initialized from the session.
+type liveProjection struct {
+	sess    *cbtc.Session
+	next    int          // node-id space size after projected joins
+	overlay map[int]bool // projected liveness where it differs
+}
+
+func (p *liveProjection) init(s *cbtc.Session) {
+	if p.sess == nil {
+		p.sess = s
+		p.next = s.Len()
+		p.overlay = make(map[int]bool)
+	}
+}
+
+func (p *liveProjection) admit() { p.overlay[p.next] = true; p.next++ }
+
+func (p *liveProjection) depart(id int) { p.overlay[id] = false }
+
+func (p *liveProjection) live(id int) bool {
+	if id < 0 || id >= p.next {
+		return false
+	}
+	if v, ok := p.overlay[id]; ok {
+		return v
+	}
+	return id < p.sess.Len() && p.sess.Alive(id)
+}
+
+// writeCheckpoint persists the fleet atomically: full write to a temp
+// file, fsync, rename over the target.
+func (d *daemon) writeCheckpoint() error {
+	if d.ckptPath == "" {
+		return nil
+	}
+	tmp := d.ckptPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.fleet.Checkpoint(f); err == nil {
+		err = f.Sync()
+	} else {
+		_ = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, d.ckptPath)
+}
+
+// readEvents decodes newline-framed JSON events from r and enqueues
+// them. When block is true a full queue exerts backpressure on the
+// producer; otherwise the event is counted as dropped and the caller is
+// told how many were accepted.
+func (d *daemon) readEvents(r io.Reader, block bool) (accepted, malformed, droppedNow int) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev wireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			malformed++
+			d.rejected.Add(1)
+			continue
+		}
+		if block {
+			d.queue <- ev
+			accepted++
+			continue
+		}
+		select {
+		case d.queue <- ev:
+			accepted++
+		default:
+			droppedNow++
+			d.dropped.Add(1)
+		}
+	}
+	return accepted, malformed, droppedNow
+}
+
+// routes builds the HTTP query/ingestion surface. Queries read the
+// fleet through its own synchronized, snapshot-backed methods and never
+// block the tick loop beyond a lock handoff.
+func (d *daemon) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /events", func(w http.ResponseWriter, r *http.Request) {
+		accepted, malformed, droppedNow := d.readEvents(r.Body, false)
+		status := http.StatusAccepted
+		if droppedNow > 0 {
+			status = http.StatusTooManyRequests
+		}
+		writeJSON(w, status, map[string]int{
+			"accepted": accepted, "malformed": malformed, "dropped": droppedNow,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]int64{
+			"networks": int64(d.fleet.Size()),
+			"ticks":    d.ticks.Load(),
+			"applied":  d.applied.Load(),
+			"rejected": d.rejected.Load(),
+			"dropped":  d.dropped.Load(),
+			"queued":   int64(len(d.queue)),
+		})
+	})
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := d.fleet.Report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("GET /network/{i}", func(w http.ResponseWriter, r *http.Request) {
+		i, err := strconv.Atoi(r.PathValue("i"))
+		if err != nil || i < 0 || i >= d.fleet.Size() {
+			http.Error(w, "no such network", http.StatusNotFound)
+			return
+		}
+		sess := d.fleet.Session(i)
+		ts, err := sess.Observe()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"net":   i,
+			"final": ts,
+			"stats": sess.Stats(),
+		})
+	})
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if d.ckptPath == "" {
+			http.Error(w, "no -checkpoint path configured", http.StatusConflict)
+			return
+		}
+		if err := d.writeCheckpoint(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"checkpoint": d.ckptPath})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -22,7 +22,11 @@ type Engine struct {
 	model    radio.Model
 	opts     core.Options
 	schedule []float64 // non-nil: quantize discovery tags to these levels
-	workers  int       // worker budget for Run/RunBatch/MaxPower/Session repair/Fleets; 0 = GOMAXPROCS
+	// scheduleFactor is the WithShrinkBackSchedule factor the schedule was
+	// built from (0 = exact tags); it is part of the checkpoint config
+	// fingerprint, since quantization changes the serialized fixed point.
+	scheduleFactor float64
+	workers        int // worker budget for Run/RunBatch/MaxPower/Session repair/Fleets; 0 = GOMAXPROCS
 }
 
 // New builds an Engine from functional options, validating the combined
@@ -55,6 +59,7 @@ func New(options ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		eng.schedule = schedule
+		eng.scheduleFactor = s.scheduleFactor
 	}
 	return eng, nil
 }

@@ -135,7 +135,12 @@ type Fleet struct {
 // here, touched only by the single shard goroutine currently driving
 // network i (shard slots are disjoint) or under the fleet lock.
 type fleetNetwork struct {
-	sess   *Session
+	sess *Session
+	// src is the network's private PCG stream and rng the Rand view over
+	// it. The source is retained because rand.Rand is a stateless wrapper:
+	// checkpointing serializes src's ~20-byte state directly, so a
+	// restored fleet resumes the exact stream position.
+	src    *rand.PCG
 	rng    *rand.Rand
 	done   int // completed ticks
 	events int // events applied across all ticks
@@ -168,7 +173,8 @@ func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) 
 			}
 			return fmt.Errorf("network %d: %w", i, err)
 		}
-		f.nets[i] = &fleetNetwork{sess: sess, rng: rand.New(rand.NewPCG(cfg.Seed, workload.Mix(cfg.Seed, uint64(i))))}
+		src := rand.NewPCG(cfg.Seed, workload.Mix(cfg.Seed, uint64(i)))
+		f.nets[i] = &fleetNetwork{sess: sess, src: src, rng: rand.New(src)}
 		return nil
 	})
 	if err != nil {
@@ -228,6 +234,62 @@ func (f *Fleet) Run(ctx context.Context, ticks int, fn TickFunc) (*FleetReport, 
 		return nil, err
 	}
 	return f.reportLocked(ctx)
+}
+
+// TickEvents advances every network by exactly one synchronized tick,
+// applying externally-supplied event batches instead of TickFunc-generated
+// ones — the ingestion path of long-lived drivers (cmd/fleetd) that
+// receive Join/Leave/Move traffic from outside. events must hold one
+// batch per network (len(events) == Size; empty batches are fine).
+//
+// Every batch is validated against its session's current state before
+// anything is applied, so an invalid batch returns an ErrBadEvent error
+// with the fleet untouched. Once started the tick is atomic: ctx is
+// checked only at entry, each network's batch applies as one
+// Session.Tick, and per-tick statistics fold into the same accumulators
+// Run feeds — a fleet driven by TickEvents reports exactly like one
+// driven by Run over the same event schedule, at any worker count.
+//
+// TickEvents requires every network to be caught up to the fleet's tick
+// target; after a cancelled Run, complete the remainder first with
+// Run(ctx, 0, fn).
+func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
+	if len(events) != len(f.nets) {
+		return fmt.Errorf("%w: %d event batches for %d networks", ErrBadEvent, len(events), len(f.nets))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, net := range f.nets {
+		if net.done != f.target {
+			return fmt.Errorf("%w: network %d is at tick %d but the fleet target is %d; finish the interrupted Run first", ErrBadEvent, i, net.done, f.target)
+		}
+		if err := net.sess.ValidateBatch(events[i]); err != nil {
+			return fmt.Errorf("network %d: %w", i, err)
+		}
+	}
+	f.target++
+	plan := planShards(f.workers, len(f.nets))
+	// Background context: the pre-validated tick must complete atomically,
+	// or a cancellation would strand networks at different tick counts
+	// with their external batches lost.
+	err := plan.run(context.Background(), len(f.nets), func(_ context.Context, i int) error {
+		net := f.nets[i]
+		_, ts, err := net.sess.Tick(events[i])
+		if err != nil {
+			return fmt.Errorf("network %d tick %d: %w", i, net.done, err)
+		}
+		net.events += len(events[i])
+		net.degree.Add(ts.AvgDegree)
+		net.radius.Add(ts.AvgRadius)
+		net.comps.Add(float64(ts.Components))
+		net.energy.Add(ts.Energy)
+		net.done++
+		return nil
+	})
+	return err
 }
 
 // Report aggregates the fleet's current state into a FleetReport

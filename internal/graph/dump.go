@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+)
+
+// ErrBadDump reports an arena dump that does not describe a valid graph.
+// Unlike the trusted-input constructors (NewFromHalfRows,
+// NewDigraphFromRows), the dump loaders never panic: dumps cross a
+// process boundary — checkpoint files, wire frames — and a corrupt one
+// is an input error, not a programming error.
+var ErrBadDump = errors.New("graph: invalid arena dump")
+
+// Dump exports the graph's packed adjacency as a row-length vector and
+// one concatenated arena: lens[u] is node u's degree and the next
+// lens[u] entries of arena are its ascending neighbor row. The two
+// slices are appended to lens and arena (pass nil to allocate fresh),
+// so a caller serializing several graphs can reuse one pair of buffers.
+// This is the checkpoint wire shape: two bulk writes regardless of node
+// count.
+func (g *Graph) Dump(lens, arena []int32) ([]int32, []int32) {
+	lens = slices.Grow(lens, g.n)
+	arena = slices.Grow(arena, 2*g.edges)
+	for u := 0; u < g.n; u++ {
+		lens = append(lens, int32(len(g.adj[u])))
+		arena = append(arena, g.adj[u]...)
+	}
+	return lens, arena
+}
+
+// NewFromDump rebuilds a graph from a Dump-shaped row-length vector and
+// packed arena, validating everything a hostile dump could get wrong:
+// consistent lengths, ascending in-range rows, no self-loops, and exact
+// symmetry (v lists u iff u lists v). The rows are copied into one fresh
+// arena; the input slices are not retained. It returns an ErrBadDump
+// error instead of panicking on invalid input.
+func NewFromDump(lens, arena []int32) (*Graph, error) {
+	n := len(lens)
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: node count %d exceeds the packed int32 id space", ErrBadDump, n)
+	}
+	total := 0
+	for u, l := range lens {
+		if l < 0 {
+			return nil, fmt.Errorf("%w: negative row length %d at node %d", ErrBadDump, l, u)
+		}
+		total += int(l)
+	}
+	if total != len(arena) {
+		return nil, fmt.Errorf("%w: row lengths sum to %d but arena holds %d entries", ErrBadDump, total, len(arena))
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("%w: odd adjacency entry count %d cannot be symmetric", ErrBadDump, total)
+	}
+	g := &Graph{
+		n:      n,
+		edges:  total / 2,
+		adj:    make([][]int32, n),
+		shared: make([]bool, n),
+	}
+	packed := slices.Clone(arena)
+	off := 0
+	for u := 0; u < n; u++ {
+		row := packed[off : off+int(lens[u]) : off+int(lens[u])]
+		off += int(lens[u])
+		if err := validateRow(u, n, row); err != nil {
+			return nil, err
+		}
+		g.adj[u] = row
+	}
+	// Symmetry: every arc's reverse must exist. Rows are sorted, so one
+	// binary search per directed entry suffices.
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			if _, found := slices.BinarySearch(g.adj[v], int32(u)); !found {
+				return nil, fmt.Errorf("%w: edge %d->%d has no reverse", ErrBadDump, u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Dump exports the digraph's packed successor rows in the same shape as
+// Graph.Dump: a row-length vector plus one concatenated arena, appended
+// to the passed buffers.
+func (d *Digraph) Dump(lens, arena []int32) ([]int32, []int32) {
+	lens = slices.Grow(lens, d.n)
+	arena = slices.Grow(arena, d.arcs)
+	for u := 0; u < d.n; u++ {
+		lens = append(lens, int32(len(d.out[u])))
+		arena = append(arena, d.out[u]...)
+	}
+	return lens, arena
+}
+
+// NewDigraphFromDump rebuilds a digraph from a Dump-shaped row-length
+// vector and packed arena, validating row structure (ascending,
+// in-range, no self-loops). The rows are copied; the input slices are
+// not retained. It returns an ErrBadDump error instead of panicking on
+// invalid input.
+func NewDigraphFromDump(lens, arena []int32) (*Digraph, error) {
+	n := len(lens)
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: node count %d exceeds the packed int32 id space", ErrBadDump, n)
+	}
+	total := 0
+	for u, l := range lens {
+		if l < 0 {
+			return nil, fmt.Errorf("%w: negative row length %d at node %d", ErrBadDump, l, u)
+		}
+		total += int(l)
+	}
+	if total != len(arena) {
+		return nil, fmt.Errorf("%w: row lengths sum to %d but arena holds %d entries", ErrBadDump, total, len(arena))
+	}
+	d := &Digraph{
+		n:      n,
+		arcs:   total,
+		out:    make([][]int32, n),
+		shared: make([]bool, n),
+	}
+	packed := slices.Clone(arena)
+	off := 0
+	for u := 0; u < n; u++ {
+		row := packed[off : off+int(lens[u]) : off+int(lens[u])]
+		off += int(lens[u])
+		if err := validateRow(u, n, row); err != nil {
+			return nil, err
+		}
+		d.out[u] = row
+	}
+	return d, nil
+}
+
+// validateRow checks one dumped adjacency row: strictly ascending,
+// in-range, no self-loop.
+func validateRow(u, n int, row []int32) error {
+	for i, v := range row {
+		if int(v) < 0 || int(v) >= n {
+			return fmt.Errorf("%w: node %d lists out-of-range neighbor %d", ErrBadDump, u, v)
+		}
+		if int(v) == u {
+			return fmt.Errorf("%w: node %d lists itself", ErrBadDump, u)
+		}
+		if i > 0 && row[i-1] >= v {
+			return fmt.Errorf("%w: node %d row not strictly ascending at %d", ErrBadDump, u, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomGraph builds a random graph over n nodes with roughly density*n
+// edges, exercising both arena-packed (bulk-built) and per-edge rows.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for e := 0; e < 3*n; e++ {
+		g.AddEdge(rng.IntN(n), rng.IntN(n))
+	}
+	return g
+}
+
+func TestGraphDumpRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		g := randomGraph(rng, n)
+		lens, arena := g.Dump(nil, nil)
+		back, err := NewFromDump(lens, arena)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !g.Equal(back) {
+			t.Fatalf("n=%d: round-tripped graph differs", n)
+		}
+		if back.EdgeCount() != g.EdgeCount() {
+			t.Fatalf("n=%d: edge count %d != %d", n, back.EdgeCount(), g.EdgeCount())
+		}
+		// The restored graph must be independently mutable (fresh arena).
+		if n >= 2 {
+			back.AddEdge(0, 1)
+			back.RemoveEdge(0, 1)
+		}
+	}
+}
+
+func TestDigraphDumpRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		d := NewDigraph(n)
+		for e := 0; e < 4*n; e++ {
+			d.AddArc(rng.IntN(n), rng.IntN(n))
+		}
+		lens, arena := d.Dump(nil, nil)
+		back, err := NewDigraphFromDump(lens, arena)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !d.Equal(back) {
+			t.Fatalf("n=%d: round-tripped digraph differs", n)
+		}
+	}
+}
+
+func TestDumpBufferReuse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	d := NewDigraph(2)
+	d.AddArc(0, 1)
+
+	// Appending two dumps into the same buffers must keep both intact.
+	lens, arena := g.Dump(nil, nil)
+	gEnd, aEnd := len(lens), len(arena)
+	lens, arena = d.Dump(lens, arena)
+
+	back, err := NewFromDump(lens[:gEnd], arena[:aEnd])
+	if err != nil || !g.Equal(back) {
+		t.Fatalf("graph half corrupted by append: %v", err)
+	}
+	dback, err := NewDigraphFromDump(lens[gEnd:], arena[aEnd:])
+	if err != nil || !d.Equal(dback) {
+		t.Fatalf("digraph half corrupted by append: %v", err)
+	}
+}
+
+func TestNewFromDumpRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name  string
+		lens  []int32
+		arena []int32
+	}{
+		{"negative length", []int32{-1, 0}, nil},
+		{"length sum mismatch", []int32{1, 1}, []int32{1}},
+		{"odd total", []int32{1, 0}, []int32{1}},
+		{"out of range", []int32{1, 1}, []int32{2, 0}},
+		{"self loop", []int32{1, 1}, []int32{0, 0}},
+		{"unsorted row", []int32{2, 1, 1}, []int32{2, 1, 0, 0}},
+		{"asymmetric", []int32{1, 0, 1}, []int32{1, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := NewFromDump(tc.lens, tc.arena); !errors.Is(err, ErrBadDump) {
+			t.Errorf("%s: got %v, want ErrBadDump", tc.name, err)
+		}
+	}
+	if _, err := NewDigraphFromDump([]int32{1, 1}, []int32{1, 1}); !errors.Is(err, ErrBadDump) {
+		t.Errorf("digraph self loop: got %v, want ErrBadDump", err)
+	}
+	// A digraph dump may legitimately be asymmetric.
+	if _, err := NewDigraphFromDump([]int32{1, 0}, []int32{1}); err != nil {
+		t.Errorf("asymmetric digraph dump rejected: %v", err)
+	}
+}

@@ -165,6 +165,19 @@ func (s *Session) applyBatchLocked(events []Event) (BatchReport, error) {
 	return rep, nil
 }
 
+// ValidateBatch checks whether events would pass ApplyBatch's
+// all-or-nothing validation against the session's current state, without
+// applying anything. It returns nil for a valid batch and an ErrBadEvent
+// error otherwise. External ingestion drivers (Fleet.TickEvents,
+// cmd/fleetd) use it to reject bad traffic before committing a tick; the
+// answer is only binding while no other goroutine mutates the session in
+// between.
+func (s *Session) ValidateBatch(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validateBatch(events)
+}
+
 // validateBatch checks every event against the liveness state projected
 // through the batch's earlier events, without mutating the session.
 func (s *Session) validateBatch(events []Event) error {
