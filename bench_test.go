@@ -20,6 +20,7 @@ package cbtc
 import (
 	"bytes"
 	"context"
+	"math/rand/v2"
 	"runtime"
 	"slices"
 	"testing"
@@ -684,6 +685,88 @@ func BenchmarkFleet(b *testing.B) {
 				workers = runtime.GOMAXPROCS(0)
 			}
 			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}
+
+// BenchmarkFleetAsync measures the PR 7 tentpole on a straggler-skewed
+// heterogeneous mix: 8 light networks (80 nodes, tick weight 4) plus
+// one heavyweight straggler (2000 nodes, weight 1), all at paper density.
+// Both arms apply the same per-member tick sequences; they differ only
+// in scheduling:
+//
+//   - async: one fleet round per iteration on the work-stealing
+//     scheduler — each fast member ticks 4×, the straggler once, and
+//     nobody waits at a barrier.
+//   - lockstep: weights flattened to 1 and four rounds driven with a
+//     full drain between them — the retired PR 5 semantics, where every
+//     round's fast ticks wait for a straggler tick.
+//
+// Per iteration the fast-member work is identical (32 ticks); the async
+// arm pays the straggler once instead of four times. BENCH_PR7.json
+// gates the lockstep/async ratio on ≥4-core runners.
+func BenchmarkFleetAsync(b *testing.B) {
+	mix := workload.StragglerMix(8, 80, 4, 2000)
+	ctx := context.Background()
+	ticks := make([]TickFunc, len(mix))
+	for i, sz := range mix {
+		moves := sz.N / 16
+		ticks[i] = DriftTick(TickProfile{
+			Moves:     moves,
+			Jitter:    workload.PaperRadius / 8,
+			JoinProb:  0.25,
+			LeaveProb: 0.25,
+			Width:     sz.Side,
+			Height:    sz.Side,
+		})
+	}
+	tick := func(net, tk int, rng *rand.Rand, s *Session) []Event {
+		return ticks[net](net, tk, rng, s)
+	}
+	for _, tc := range []struct {
+		name   string
+		rounds int // rounds per iteration; 1 round of weight w ≡ w flattened rounds
+		async  bool
+	}{
+		{"async", 1, true},
+		{"lockstep", 4, false},
+	} {
+		tc := tc
+		b.Run("straggler-m9/"+tc.name, func(b *testing.B) {
+			eng, err := New(WithMaxRadius(workload.PaperRadius), WithShrinkBack())
+			if err != nil {
+				b.Fatal(err)
+			}
+			members := make([]MemberSpec, len(mix))
+			for i, sz := range mix {
+				members[i] = MemberSpec{Placement: workload.MemberPlacement(11, i, sz)}
+				if tc.async {
+					members[i].Ticks = sz.Ticks
+				}
+			}
+			fleet, err := eng.NewFleet(ctx, FleetConfig{Members: members, Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < tc.rounds; r++ {
+					if err := fleet.Advance(ctx, 1, tick); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			rep, err := fleet.Report()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Preserved != rep.Networks {
+				b.Fatalf("only %d/%d networks preserve connectivity", rep.Preserved, rep.Networks)
+			}
+			b.ReportMetric(float64(rep.Events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 		})
 	}
 }

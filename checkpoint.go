@@ -175,18 +175,22 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 	return s, nil
 }
 
-// Checkpoint serializes the fleet's complete state to w: the shared
-// engine fingerprint, the tick target, and per network its RNG stream
-// position, tick/event counters, statistics accumulators and full
-// session state. The fleet lock is held only while the per-network
-// snapshots are captured (slice headers, COW graph clones and ~20-byte
-// RNG states); encoding streams off-lock, so a fleet driven tick-by-tick
-// (TickEvents) keeps ticking while a checkpoint is written.
+// Checkpoint serializes the fleet's complete state to w: the base
+// engine fingerprint, and per member its own fingerprint, kind, tick
+// weight, RNG stream position, tick clock/target, event counter,
+// statistics accumulators and full session state. The fleet lock is
+// held only while the per-network snapshots are captured (slice
+// headers, COW graph clones and ~20-byte RNG states); encoding streams
+// off-lock, so a fleet driven tick-by-tick (TickEvents) keeps ticking
+// while a checkpoint is written. A checkpoint may be taken at ragged
+// per-member clocks — after a cancelled run, or under skewed external
+// traffic — and restores to exactly that raggedness. The wall-clock
+// scheduling telemetry (MemberSchedStats) is deliberately not captured:
+// a restored fleet starts with fresh flow-rate estimates.
 func (f *Fleet) Checkpoint(w io.Writer) error {
 	f.mu.Lock()
 	st := &codec.FleetState{
 		Config: f.eng.fingerprint(),
-		Target: int64(f.target),
 		Nets:   make([]codec.NetworkState, len(f.nets)),
 	}
 	var err error
@@ -199,13 +203,17 @@ func (f *Fleet) Checkpoint(w io.Writer) error {
 		ss := net.sess.exportLocked()
 		net.sess.mu.Unlock()
 		st.Nets[i] = codec.NetworkState{
+			Config:     net.eng.fingerprint(),
+			Kind:       uint8(net.kind),
+			Weight:     int64(net.weight),
 			RNG:        rngState,
-			Done:       int64(net.done),
-			Events:     int64(net.events),
-			Degree:     net.degree,
-			Radius:     net.radius,
-			Components: net.comps,
-			Energy:     net.energy,
+			Done:       net.done.Load(),
+			Target:     net.target.Load(),
+			Events:     net.events,
+			Degree:     net.series.Degree,
+			Radius:     net.series.Radius,
+			Components: net.series.Components,
+			Energy:     net.series.Energy,
 			Session:    *ss,
 		}
 	}
@@ -216,16 +224,52 @@ func (f *Fleet) Checkpoint(w io.Writer) error {
 	return codec.EncodeFleet(w, st)
 }
 
+// engineFromFingerprint rebuilds a member's derived engine from its
+// checkpointed fingerprint. The rebuilt engine's own fingerprint must
+// round-trip to the input exactly — anything else means the fingerprint
+// encodes a configuration the option surface cannot express, which is
+// corruption, not a restorable state.
+func engineFromFingerprint(fc codec.EngineConfig, workers int) (*Engine, error) {
+	if fc.NonContributing {
+		// No public option path produces this flag; an honest checkpoint
+		// can never carry it.
+		return nil, fmt.Errorf("%w: member fingerprint requests unsupported non-contributing removal", ErrCheckpointCorrupt)
+	}
+	s := settings{
+		cfg: Config{
+			Alpha:             fc.Alpha,
+			MaxRadius:         fc.MaxRadius,
+			PathLossExponent:  fc.PathLossExponent,
+			ShrinkBack:        fc.ShrinkBack,
+			AsymmetricRemoval: fc.AsymmetricRemoval,
+			PairwiseRemoval:   fc.PairwiseRemoval,
+			PairwisePolicy:    PairwisePolicy(fc.PairwisePolicy),
+		},
+		scheduleFactor: fc.ScheduleFactor,
+		workers:        workers,
+	}
+	eng, err := newEngine(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: member fingerprint does not validate: %v", ErrCheckpointCorrupt, err)
+	}
+	if got := eng.fingerprint(); got != fc {
+		return nil, fmt.Errorf("%w: member fingerprint %+v does not round-trip (got %+v)", ErrCheckpointCorrupt, fc, got)
+	}
+	return eng, nil
+}
+
 // RestoreFleet rebuilds a Fleet from a checkpoint written by
 // Fleet.Checkpoint, under this engine's worker budget (build the engine
 // with WithWorkers to restore onto a different pool size — per-network
-// results are worker-count invariant either way). The checkpoint's
-// engine fingerprint must match exactly (ErrConfigMismatch); invalid
-// input yields the same typed errors as RestoreSession. The restored
-// fleet's sessions are edge-identical to the originals, its RNG streams
-// resume at their exact positions, and continuing it — Run or
-// TickEvents — produces byte-identical reports to the uninterrupted
-// fleet.
+// results are worker-count invariant either way). The checkpoint's base
+// fingerprint must match this engine exactly (ErrConfigMismatch);
+// heterogeneous members rebuild their derived engines from their own
+// embedded fingerprints. Invalid input yields the same typed errors as
+// RestoreSession. The restored fleet's sessions are edge-identical to
+// the originals, its RNG streams and per-member tick clocks resume at
+// their exact positions — including ragged ones — and continuing it
+// (Run, Advance or TickEvents) produces byte-identical per-member
+// results to the uninterrupted fleet.
 func (e *Engine) RestoreFleet(r io.Reader) (*Fleet, error) {
 	st, err := codec.DecodeFleet(r)
 	if err != nil {
@@ -238,32 +282,44 @@ func (e *Engine) RestoreFleet(r io.Reader) (*Fleet, error) {
 	if m == 0 {
 		return nil, fmt.Errorf("%w: fleet checkpoint holds no networks", ErrCheckpointCorrupt)
 	}
-	f := &Fleet{eng: e, workers: e.workers, nets: make([]*fleetNetwork, m), target: int(st.Target)}
+	f := &Fleet{eng: e, workers: e.workers, nets: make([]*fleetNetwork, m)}
 	plan := planShards(f.workers, m)
+	base := e.fingerprint()
 	for i := range st.Nets {
 		ns := &st.Nets[i]
-		if int(ns.Done) > f.target {
-			return nil, fmt.Errorf("%w: network %d at tick %d beyond target %d", ErrCheckpointCorrupt, i, ns.Done, st.Target)
+		eng := e
+		if ns.Config != base {
+			if eng, err = engineFromFingerprint(ns.Config, e.workers); err != nil {
+				return nil, fmt.Errorf("network %d: %w", i, err)
+			}
 		}
 		src := &rand.PCG{}
 		if err := src.UnmarshalBinary(ns.RNG); err != nil {
 			return nil, fmt.Errorf("%w: network %d rng state: %v", ErrCheckpointCorrupt, i, err)
 		}
-		sess, err := e.sessionFromState(&ns.Session, plan.inner)
+		sess, err := eng.sessionFromState(&ns.Session, plan.inner)
 		if err != nil {
 			return nil, fmt.Errorf("network %d: %w", i, err)
 		}
-		f.nets[i] = &fleetNetwork{
+		net := &fleetNetwork{
+			net:    i,
 			sess:   sess,
+			eng:    eng,
+			kind:   MemberKind(ns.Kind),
+			weight: int(ns.Weight),
 			src:    src,
 			rng:    rand.New(src),
-			done:   int(ns.Done),
-			events: int(ns.Events),
-			degree: ns.Degree,
-			radius: ns.Radius,
-			comps:  ns.Components,
-			energy: ns.Energy,
+			events: ns.Events,
+			series: TickSeries{
+				Degree:     ns.Degree,
+				Radius:     ns.Radius,
+				Components: ns.Components,
+				Energy:     ns.Energy,
+			},
 		}
+		net.done.Store(ns.Done)
+		net.target.Store(ns.Target)
+		f.nets[i] = net
 	}
 	return f, nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"math/rand/v2"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"cbtc/internal/workload"
@@ -319,6 +320,10 @@ func TestFleetCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Scheduling telemetry measures wall clock and is not carried by
+	// checkpoints; everything else must round-trip exactly.
+	zeroSched(repAtCkpt)
+	zeroSched(refRep)
 
 	for _, w := range []int{0, 1, 3} {
 		engW, err := New(WithMaxRadius(sc.Radius), WithShrinkBack(), WithWorkers(w))
@@ -333,6 +338,7 @@ func TestFleetCheckpointRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		zeroSched(rep0)
 		if !reflect.DeepEqual(rep0, repAtCkpt) {
 			t.Fatalf("workers=%d: restored report differs from checkpoint-time report", w)
 		}
@@ -340,8 +346,96 @@ func TestFleetCheckpointRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		zeroSched(rep)
 		if !reflect.DeepEqual(rep, refRep) {
 			t.Fatalf("workers=%d: continued report diverges from uninterrupted run", w)
+		}
+	}
+}
+
+// TestFleetRaggedCheckpointResume pins the determinism invariant across
+// the full heterogeneity surface: a mixed oracle+protocol fleet with
+// per-member option stacks and tick weights, checkpointed at RAGGED
+// per-member clocks (a cancelled run leaves members mid-catch-up),
+// restores and continues byte-identically at workers 1, 2 and 8.
+func TestFleetRaggedCheckpointResume(t *testing.T) {
+	const seed = 41
+	ctx := context.Background()
+	members := mixedMembers(t, seed)
+	sc := workload.Fleet(len(members), 40, "uniform")
+	tick := fleetTick(sc)
+	eng := fleetEngine(t)
+
+	fleet, err := eng.NewFleet(ctx, FleetConfig{Members: members, Seed: seed, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel partway through the rounds so the clocks freeze at ragged,
+	// target-lagging positions.
+	cancelCtx, cancel := context.WithCancel(ctx)
+	var calls atomic.Int32
+	interrupting := func(net, tk int, rng *rand.Rand, s *Session) []Event {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return tick(net, tk, rng, s)
+	}
+	if err := fleet.Advance(cancelCtx, 3, interrupting); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted Advance error = %v, want context.Canceled", err)
+	}
+	wm := fleet.Watermarks()
+	ragged := false
+	for _, c := range wm.Members {
+		if c.Ticks < c.Target {
+			ragged = true
+		}
+	}
+	if !ragged {
+		t.Fatal("cancellation left no member behind its target; checkpoint would not be ragged")
+	}
+
+	var buf bytes.Buffer
+	if err := fleet.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The uninterrupted reference: the original fleet finishes the
+	// remainder plus one more round.
+	refRep, err := fleet.Run(ctx, 1, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSched(refRep)
+
+	for _, w := range []int{1, 2, 8} {
+		engW := fleetEngine(t, WithWorkers(w))
+		restored, err := engW.RestoreFleet(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		rwm := restored.Watermarks()
+		if !reflect.DeepEqual(rwm, wm) {
+			t.Fatalf("workers=%d: restored watermarks %+v != checkpointed %+v", w, rwm, wm)
+		}
+		rep, err := restored.Run(ctx, 1, tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroSched(rep)
+		if !reflect.DeepEqual(rep, refRep) {
+			t.Fatalf("workers=%d: resumed report diverges from uninterrupted run", w)
+		}
+		for i := 0; i < restored.Size(); i++ {
+			want, err := fleet.Session(i).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := restored.Session(i).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.G.Equal(want.G) || !got.GR.Equal(want.GR) {
+				t.Errorf("workers=%d network %d: resumed topology differs", w, i)
+			}
 		}
 	}
 }
@@ -363,10 +457,12 @@ func TestFleetTickEvents(t *testing.T) {
 		return f
 	}
 
-	// A fixed three-tick schedule touching stable ids only.
+	// A fixed three-tick schedule touching stable ids only. A nil slot
+	// skips its member entirely (the clock stands still); an explicit
+	// empty batch is a tick with no events.
 	schedule := [][][]Event{
 		{{JoinEvent(Pt(100, 100))}, {MoveEvent(2, Pt(40, 40))}},
-		{{LeaveEvent(0), MoveEvent(3, Pt(700, 700))}, nil},
+		{{LeaveEvent(0), MoveEvent(3, Pt(700, 700))}, {}},
 		{nil, {LeaveEvent(1), JoinEvent(Pt(900, 120))}},
 	}
 
@@ -376,19 +472,43 @@ func TestFleetTickEvents(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	viaRun := newFleet()
-	repRun, err := viaRun.Run(context.Background(), len(schedule), func(net, tick int, _ *rand.Rand, _ *Session) []Event {
-		return schedule[tick][net]
-	})
-	if err != nil {
-		t.Fatal(err)
+	// The skipped slots make the clocks ragged: member 0 ticked twice,
+	// member 1 three times.
+	wm := viaEvents.Watermarks()
+	if wm.Ticks.Min != 2 || wm.Ticks.Max != 3 || wm.Members[0].Ticks != 2 {
+		t.Fatalf("ragged watermarks = %+v, want member 0 at 2, member 1 at 3", wm)
+	}
+
+	// Per member, the same tick sequence via Run (with the skipped slots
+	// removed) must produce the identical report slice.
+	perNet := [][][]Event{
+		{schedule[0][0], schedule[1][0]},
+		{schedule[0][1], schedule[1][1], schedule[2][1]},
 	}
 	repEvents, err := viaEvents.Report()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(repEvents, repRun) {
-		t.Fatalf("TickEvents fleet diverges from Run fleet:\n%+v\n%+v", repEvents, repRun)
+	for net := range placements {
+		single, err := newFleet().eng.NewFleet(context.Background(), FleetConfig{
+			Members: []MemberSpec{{Placement: placements[net]}},
+			Seed:    5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repRun, err := single.Run(context.Background(), len(perNet[net]), func(_, tick int, _ *rand.Rand, _ *Session) []Event {
+			return perNet[net][tick]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := repEvents.PerNetwork[net], repRun.PerNetwork[0]
+		got.Net, got.Sched = 0, MemberSchedStats{}
+		want.Sched = MemberSchedStats{}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("network %d: TickEvents slice diverges from Run:\n%+v\n%+v", net, got, want)
+		}
 	}
 
 	// Validation is all-or-nothing across the whole fleet.

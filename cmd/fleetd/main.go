@@ -1,11 +1,14 @@
 // Command fleetd is a long-lived fleet daemon: it restores a CBTC(α)
 // fleet from a checkpoint (or builds a fresh one), ingests a stream of
-// Join/Leave/Move events, coalesces them into synchronized fleet ticks,
+// Join/Leave/Move events, coalesces them into per-network fleet ticks,
 // serves topology queries while ticking continues, and checkpoints the
-// complete fleet state — sessions, RNG streams, accumulators — on an
-// interval and on graceful shutdown. Restarting it from the checkpoint
-// resumes exactly where it stopped: the restored topology is
-// edge-identical, the RNG streams continue at their saved positions.
+// complete fleet state — sessions, RNG streams, per-member clocks,
+// accumulators — on an interval and on graceful shutdown. Restarting it
+// from the checkpoint resumes exactly where it stopped: the restored
+// topology is edge-identical, the RNG streams continue at their saved
+// positions, and the per-member tick clocks — which go ragged under
+// skewed traffic, since only networks with traffic tick — resume at
+// their exact watermarks.
 //
 // Usage:
 //
@@ -30,17 +33,22 @@
 // -http, the daemon serves:
 //
 //	POST /events      ingest newline-framed events (429 when the queue is full)
-//	GET  /healthz     liveness plus ingestion counters
+//	GET  /healthz     liveness, ingestion counters and tick watermarks
 //	GET  /report      the aggregated FleetReport as JSON
-//	GET  /network/{i} one network's topology metrics and §4 counters
+//	GET  /network/{i} one member's FleetNetworkReport as JSON
 //	POST /checkpoint  force a checkpoint write now
 //
 // Ingestion is decoupled from repair by a bounded queue: each tick
 // drains the queue, validates events against each network's projected
 // liveness (bad events are counted and dropped, never crash a network),
 // and applies each network's burst as one batched repair
-// (Fleet.TickEvents). Queries run concurrently off copy-on-write
-// snapshots; they never block the tick loop.
+// (Fleet.TickEvents). Only networks that received traffic tick — the
+// others' clocks stand still — so per-member tick counts diverge under
+// skewed traffic. /report and /healthz expose the divergence as
+// min/max watermarks plus per-member clocks; any single "tick count"
+// of the fleet is the min watermark (what every member has completed at
+// least). Queries run concurrently off copy-on-write snapshots; they
+// never block the tick loop.
 //
 // SIGINT/SIGTERM drain the queue, apply a final tick, write a final
 // checkpoint, and exit 0.
@@ -162,7 +170,11 @@ func loadOrCreate(eng *cbtc.Engine, path string, sc workload.FleetScenario, seed
 			return nil, false, err
 		}
 	}
-	fleet, err := eng.NewFleet(context.Background(), cbtc.FleetConfig{Placements: sc.Placements(seed), Seed: seed})
+	members := make([]cbtc.MemberSpec, 0, sc.M)
+	for _, placement := range sc.Placements(seed) {
+		members = append(members, cbtc.MemberSpec{Placement: placement})
+	}
+	fleet, err := eng.NewFleet(context.Background(), cbtc.FleetConfig{Members: members, Seed: seed})
 	return fleet, false, err
 }
 
@@ -222,7 +234,9 @@ func (d *daemon) loop(ctx context.Context, tickIvl, ckptIvl time.Duration) {
 // tickOnce drains the queue, validates each event against its network's
 // liveness as projected through the earlier events of the same tick
 // (mirroring ApplyBatch's rules, so one bad event is dropped instead of
-// voiding the whole batch), and applies one synchronized fleet tick.
+// voiding the whole batch), and ticks the networks that received
+// traffic. Traffic-less networks keep a nil batch and are skipped —
+// their clocks stand still, which is where ragged watermarks come from.
 func (d *daemon) tickOnce() {
 	batches := make([][]cbtc.Event, d.fleet.Size())
 	proj := make([]liveProjection, d.fleet.Size())
@@ -263,8 +277,6 @@ drain:
 			break drain
 		}
 	}
-	// An empty tick is still a tick: the fleet observes every network, so
-	// the accumulator series reflect daemon time like a Run-driven fleet.
 	if err := d.fleet.TickEvents(context.Background(), batches); err != nil {
 		// Pre-validation makes this unreachable short of a fleet-level
 		// failure; a half-applied tick must not keep serving.
@@ -380,13 +392,16 @@ func (d *daemon) routes() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		wm := d.fleet.Watermarks()
 		writeJSON(w, http.StatusOK, map[string]int64{
-			"networks": int64(d.fleet.Size()),
-			"ticks":    d.ticks.Load(),
-			"applied":  d.applied.Load(),
-			"rejected": d.rejected.Load(),
-			"dropped":  d.dropped.Load(),
-			"queued":   int64(len(d.queue)),
+			"networks":  int64(d.fleet.Size()),
+			"ticks":     d.ticks.Load(),
+			"ticks_min": int64(wm.Ticks.Min),
+			"ticks_max": int64(wm.Ticks.Max),
+			"applied":   d.applied.Load(),
+			"rejected":  d.rejected.Load(),
+			"dropped":   d.dropped.Load(),
+			"queued":    int64(len(d.queue)),
 		})
 	})
 	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
@@ -403,17 +418,14 @@ func (d *daemon) routes() http.Handler {
 			http.Error(w, "no such network", http.StatusNotFound)
 			return
 		}
-		sess := d.fleet.Session(i)
-		ts, err := sess.Observe()
+		// The JSON is the Go API's FleetNetworkReport verbatim — one
+		// shape for HTTP and library consumers.
+		nr, err := d.fleet.NetworkReport(i)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"net":   i,
-			"final": ts,
-			"stats": sess.Stats(),
-		})
+		writeJSON(w, http.StatusOK, nr)
 	})
 	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		if d.ckptPath == "" {

@@ -1,5 +1,5 @@
 // Command fleetsim drives a fleet of independent CBTC(α) networks
-// through synchronized mobility/membership ticks on the Engine's shard
+// through mobility/membership ticks on the Engine's work-stealing fleet
 // scheduler and reports cross-network aggregate statistics — the
 // many-networks workload class of a topology-control simulation service.
 //
@@ -7,13 +7,14 @@
 //
 //	fleetsim [-m 16] [-n 250] [-kind uniform|clustered] [-ticks 20]
 //	         [-workers 0] [-seed 7] [-moves n/16] [-jitter R/8]
-//	         [-churn 0.25] [-v]
+//	         [-churn 0.25] [-protocol 0] [-v]
 //
-// Every network runs the same engine stack (shrink-back on) and its own
-// deterministic RNG stream: the run is reproducible from the flags
-// alone, at any worker count. -workers 1 forces a serial drive — timing
-// serial vs default (GOMAXPROCS) shows the shard scheduler's speedup on
-// multi-core machines.
+// Every network runs its own deterministic RNG stream: each member's
+// results are reproducible from the flags alone, at any worker count.
+// -protocol k builds the first k members with the paper's distributed
+// Figure 1 protocol instead of the oracle, exercising a heterogeneous
+// fleet. -workers 1 forces a serial drive — timing serial vs default
+// (GOMAXPROCS) shows the scheduler's speedup on multi-core machines.
 package main
 
 import (
@@ -30,16 +31,17 @@ import (
 
 func main() {
 	var (
-		m       = flag.Int("m", 16, "number of independent networks")
-		n       = flag.Int("n", 250, "nodes per network")
-		kind    = flag.String("kind", "uniform", "placement kind: uniform | clustered")
-		ticks   = flag.Int("ticks", 20, "synchronized ticks to drive")
-		workers = flag.Int("workers", 0, "shard pool size (0 = GOMAXPROCS, 1 = serial)")
-		seed    = flag.Uint64("seed", 7, "base seed for placements and tick streams")
-		moves   = flag.Int("moves", 0, "nodes drifting per tick (0 = n/16)")
-		jitter  = flag.Float64("jitter", 0, "drift amplitude (0 = R/8)")
-		churn   = flag.Float64("churn", 0.25, "per-tick join and leave probability")
-		verbose = flag.Bool("v", false, "print the per-network table")
+		m        = flag.Int("m", 16, "number of independent networks")
+		n        = flag.Int("n", 250, "nodes per network")
+		kind     = flag.String("kind", "uniform", "placement kind: uniform | clustered")
+		ticks    = flag.Int("ticks", 20, "fleet rounds to drive")
+		workers  = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS, 1 = serial)")
+		seed     = flag.Uint64("seed", 7, "base seed for placements and tick streams")
+		moves    = flag.Int("moves", 0, "nodes drifting per tick (0 = n/16)")
+		jitter   = flag.Float64("jitter", 0, "drift amplitude (0 = R/8)")
+		churn    = flag.Float64("churn", 0.25, "per-tick join and leave probability")
+		protocol = flag.Int("protocol", 0, "build the first k members with the distributed protocol")
+		verbose  = flag.Bool("v", false, "print the per-network table")
 	)
 	flag.Parse()
 
@@ -56,9 +58,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	members := make([]cbtc.MemberSpec, 0, sc.M)
+	for i, placement := range sc.Placements(*seed) {
+		spec := cbtc.MemberSpec{Placement: placement}
+		if i < *protocol {
+			spec.Kind = cbtc.MemberProtocol
+		}
+		members = append(members, spec)
+	}
 	ctx := context.Background()
 	buildStart := time.Now()
-	fleet, err := eng.NewFleet(ctx, cbtc.FleetConfig{Placements: sc.Placements(*seed), Seed: *seed})
+	fleet, err := eng.NewFleet(ctx, cbtc.FleetConfig{Members: members, Seed: *seed})
 	if err != nil {
 		fail(err)
 	}
@@ -79,34 +89,37 @@ func main() {
 	}
 	runTime := time.Since(runStart)
 
-	fmt.Printf("fleet %s: %d networks × %d nodes, %d ticks, workers=%d\n\n",
-		sc.Name, rep.Networks, *n, rep.Ticks, *workers)
+	fmt.Printf("fleet %s: %d networks × %d nodes, ticks %d..%d, workers=%d\n\n",
+		sc.Name, rep.Networks, *n, rep.Watermarks.Min, rep.Watermarks.Max, *workers)
 	tb := stats.NewTable("metric", "mean", "stddev", "min", "max")
 	addStream := func(name string, s stats.Stream) {
 		tb.AddRow(name, stats.F(s.Mean, 2), stats.F(s.StdDev(), 2), stats.F(s.Min(), 2), stats.F(s.Max(), 2))
 	}
-	addStream("avg degree", rep.Degree)
-	addStream("avg radius", rep.Radius)
-	addStream("components", rep.Components)
-	addStream("energy", rep.Energy)
+	addStream("avg degree", rep.Series.Degree)
+	addStream("avg radius", rep.Series.Radius)
+	addStream("components", rep.Series.Components)
+	addStream("energy", rep.Series.Energy)
 	fmt.Print(tb.String())
 	fmt.Printf("\nlive nodes %d, edges %d, events %d, degree p50/p95 %d/%d, partition preserved %d/%d\n",
 		rep.Live, rep.Edges, rep.Events,
 		rep.DegreeDist.Quantile(0.5), rep.DegreeDist.Quantile(0.95),
 		rep.Preserved, rep.Networks)
-	netTicks := float64(rep.Networks) * float64(rep.Ticks)
+	var netTicks float64
+	for _, nr := range rep.PerNetwork {
+		netTicks += float64(nr.Ticks)
+	}
 	fmt.Printf("build %v; run %v — %.1f network-ticks/s, %.0f events/s\n",
 		buildTime.Round(time.Millisecond), runTime.Round(time.Millisecond),
 		netTicks/runTime.Seconds(), float64(rep.Events)/runTime.Seconds())
 
 	if *verbose {
 		fmt.Println()
-		nt := stats.NewTable("net", "ticks", "events", "live", "edges", "comps", "degree", "radius", "energy", "preserved")
+		nt := stats.NewTable("net", "kind", "ticks", "events", "live", "edges", "comps", "degree", "radius", "energy", "tick µs", "preserved")
 		for _, nr := range rep.PerNetwork {
-			nt.AddRow(fmt.Sprint(nr.Net), fmt.Sprint(nr.Ticks), fmt.Sprint(nr.Events),
+			nt.AddRow(fmt.Sprint(nr.Net), nr.Kind.String(), fmt.Sprint(nr.Ticks), fmt.Sprint(nr.Events),
 				fmt.Sprint(nr.Final.Live), fmt.Sprint(nr.Final.Edges), fmt.Sprint(nr.Final.Components),
 				stats.F(nr.Final.AvgDegree, 2), stats.F(nr.Final.AvgRadius, 1),
-				stats.F(nr.Final.Energy, 0), fmt.Sprint(nr.Preserved))
+				stats.F(nr.Final.Energy, 0), stats.F(float64(nr.Sched.TickNs)/1e3, 0), fmt.Sprint(nr.Preserved))
 		}
 		fmt.Print(nt.String())
 	}

@@ -35,12 +35,26 @@ type Engine struct {
 // wrapping ErrBadConfig.
 func New(options ...Option) (*Engine, error) {
 	var s settings
+	s.apply(options)
+	return newEngine(s)
+}
+
+// apply folds options into the accumulated settings, resolving the
+// AllOptimizations marker the way New always has: after every other
+// option, so it composes with WithAlpha in either order.
+func (s *settings) apply(options []Option) {
 	for _, opt := range options {
-		opt(&s)
+		opt(s)
 	}
 	if s.allOpts {
 		s.cfg = s.cfg.AllOptimizations()
+		s.allOpts = false
 	}
+}
+
+// newEngine validates accumulated settings into an immutable Engine —
+// the shared back half of New and Engine.derive.
+func newEngine(s settings) (*Engine, error) {
 	cfg, m, opts, err := s.cfg.resolve()
 	if err != nil {
 		return nil, err
@@ -62,6 +76,20 @@ func New(options ...Option) (*Engine, error) {
 		eng.scheduleFactor = s.scheduleFactor
 	}
 	return eng, nil
+}
+
+// derive builds a new Engine layered on this one: the engine's resolved
+// configuration is reopened as settings and the given options applied on
+// top, revalidated as a whole. With no options the engine itself is
+// returned. Fleets use it to give heterogeneous members their own option
+// stacks without losing the base engine's defaults.
+func (e *Engine) derive(options ...Option) (*Engine, error) {
+	if len(options) == 0 {
+		return e, nil
+	}
+	s := settings{cfg: e.cfg, scheduleFactor: e.scheduleFactor, workers: e.workers}
+	s.apply(options)
+	return newEngine(s)
 }
 
 // Config returns the fully-resolved configuration the Engine runs with
@@ -115,6 +143,21 @@ func (e *Engine) run(ctx context.Context, nodes []Point, workers int) (*Result, 
 // and measured angles, exactly as the paper assumes. Cancelling ctx
 // stops the event loop and returns ctx.Err().
 func (e *Engine) Simulate(ctx context.Context, nodes []Point, sim SimOptions) (*Result, error) {
+	exec, err := e.protoExec(ctx, nodes, sim)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := core.BuildTopology(exec, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(nodes, e.model, topo, e.workers), nil
+}
+
+// protoExec runs the distributed Figure 1 protocol on the discrete-event
+// radio simulator and returns the finished growing-phase execution — the
+// shared front half of Simulate and NewProtocolSession.
+func (e *Engine) protoExec(ctx context.Context, nodes []Point, sim SimOptions) (*core.Execution, error) {
 	simOpts := netsim.Options{
 		Model:    e.model,
 		Latency:  sim.Latency,
@@ -143,11 +186,7 @@ func (e *Engine) Simulate(ctx context.Context, nodes []Point, sim SimOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	topo, err := core.BuildTopology(exec, e.opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(nodes, e.model, topo, e.workers), nil
+	return exec, nil
 }
 
 // MaxPower returns the Result of using no topology control at all:

@@ -5,35 +5,130 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cbtc/internal/stats"
 	"cbtc/internal/workload"
 )
 
+// MemberKind selects how a fleet member's initial topology is built.
+type MemberKind uint8
+
+const (
+	// MemberOracle builds the member with the exact minimal-power oracle
+	// (Engine.Run semantics) — the default.
+	MemberOracle MemberKind = iota
+	// MemberProtocol builds the member by actually running the paper's
+	// distributed Figure 1 protocol on the discrete-event radio simulator
+	// (Engine.Simulate semantics, seeded and deterministic). Subsequent §4
+	// repairs use the same oracle machinery as every other member.
+	MemberProtocol
+)
+
+func (k MemberKind) String() string {
+	switch k {
+	case MemberOracle:
+		return "oracle"
+	case MemberProtocol:
+		return "protocol"
+	default:
+		return fmt.Sprintf("MemberKind(%d)", uint8(k))
+	}
+}
+
+// MemberSpec describes one fleet member: its initial placement, how it
+// is built, the engine options it overrides, and its tick budget. The
+// zero value of everything but Placement gives the PR 5 behavior — an
+// oracle member on the fleet engine's stack advancing one tick per
+// round.
+type MemberSpec struct {
+	// Placement is the member's initial node placement.
+	Placement []Point
+	// Kind selects the oracle or the distributed-protocol constructor.
+	Kind MemberKind
+	// Options are per-member engine overrides, layered over the fleet
+	// engine's configuration and revalidated as a whole — a member can run
+	// its own α, optimization stack or density regime while the fleet
+	// aggregates across all of them.
+	Options []Option
+	// Ticks is the member's tick budget per fleet round: Run(ctx, rounds,
+	// fn) advances the member rounds×Ticks ticks. Zero means 1. A light
+	// member can tick many times per round of a heavyweight one — the
+	// heterogeneity the synchronized PR 5 barrier could not express.
+	Ticks int
+	// Sim configures the protocol constructor for MemberProtocol members.
+	// A zero Sim.Seed derives a per-member seed from FleetConfig.Seed, so
+	// a fleet remains reproducible from one seed; set it explicitly to
+	// reproduce the member standalone with NewProtocolSession.
+	Sim SimOptions
+}
+
 // FleetConfig configures Engine.NewFleet.
 type FleetConfig struct {
-	// Placements are the M initial networks; network i starts from
-	// Placements[i]. At least one placement is required.
+	// Members are the fleet's M member specifications; member i starts
+	// from Members[i]. At least one member is required (unless the
+	// deprecated Placements field is used instead).
+	Members []MemberSpec
+	// Placements is the PR 5 membership surface: M homogeneous
+	// oracle-built placements on the fleet engine's stack, one tick per
+	// round each.
+	//
+	// Deprecated: populate Members instead. Placements is a shim that
+	// builds the equivalent homogeneous []MemberSpec; setting both fields
+	// is an error.
 	Placements [][]Point
-	// Seed derives every network's private tick RNG (a decorrelated
-	// splitmix stream per network), so a fleet is reproducible from its
-	// placements and one seed, at any worker count.
+	// Seed derives every member's private tick RNG (a decorrelated
+	// splitmix stream per member) and, for protocol members without an
+	// explicit Sim.Seed, the protocol simulator seed — so a fleet is
+	// reproducible from its member specs and one seed, at any worker
+	// count.
 	Seed uint64
-	// Workers sizes the fleet's shard pool. Zero means the engine's
-	// worker budget (WithWorkers; GOMAXPROCS by default); one drives
-	// the fleet serially.
+	// Workers sizes the fleet's scheduler pool. Zero means the engine's
+	// worker budget (WithWorkers; GOMAXPROCS by default); one drives the
+	// fleet serially.
 	Workers int
 }
 
-// TickFunc generates network net's events for synchronized tick number
-// tick. It must derive randomness only from rng — the network's private
+// members resolves the Members/Placements surfaces into one spec list.
+func (cfg *FleetConfig) members() ([]MemberSpec, error) {
+	if len(cfg.Members) > 0 && len(cfg.Placements) > 0 {
+		return nil, fmt.Errorf("%w: set FleetConfig.Members or the deprecated Placements, not both", ErrBadConfig)
+	}
+	specs := cfg.Members
+	if len(specs) == 0 {
+		specs = make([]MemberSpec, len(cfg.Placements))
+		for i, p := range cfg.Placements {
+			specs[i] = MemberSpec{Placement: p}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: fleet needs at least one member", ErrBadConfig)
+	}
+	out := append([]MemberSpec(nil), specs...)
+	for i := range out {
+		if out[i].Kind > MemberProtocol {
+			return nil, fmt.Errorf("%w: member %d: unknown kind %d", ErrBadConfig, i, out[i].Kind)
+		}
+		if out[i].Ticks < 0 {
+			return nil, fmt.Errorf("%w: member %d: negative tick budget %d", ErrBadConfig, i, out[i].Ticks)
+		}
+		if out[i].Ticks == 0 {
+			out[i].Ticks = 1
+		}
+	}
+	return out, nil
+}
+
+// TickFunc generates member net's events for the member's tick number
+// tick. It must derive randomness only from rng — the member's private
 // deterministic stream — and from the session's own observable state;
-// under that contract a fleet's per-network results are byte-identical
-// at every worker count, and identical to driving each session alone.
-// DriftTick builds the standard mobility/membership profile.
+// under that contract each member's results are byte-identical given its
+// seed at every worker count, and identical to driving the session
+// alone. DriftTick builds the standard mobility/membership profile.
 type TickFunc func(net, tick int, rng *rand.Rand, s *Session) []Event
 
-// TickProfile parameterizes DriftTick, the standard synchronized
+// TickProfile parameterizes DriftTick, the standard
 // mobility/membership tick. internal/workload's FleetScenario carries
 // matching field values for its generated placements.
 type TickProfile struct {
@@ -54,7 +149,8 @@ type TickProfile struct {
 // to the region), then joins a fresh uniform node with probability
 // p.JoinProb, then removes a random live node with probability
 // p.LeaveProb. Event order (moves, join, leave) is fixed so the RNG
-// consumption — and with it the whole fleet — is deterministic.
+// consumption — and with it each member's whole history — is
+// deterministic.
 func DriftTick(p TickProfile) TickFunc {
 	return func(_, _ int, rng *rand.Rand, s *Session) []Event {
 		events := make([]Event, 0, p.Moves+2)
@@ -110,52 +206,167 @@ func clampTo(v, hi float64) float64 {
 }
 
 // Fleet owns M independent evolving networks — one Session each — and
-// drives synchronized reconfiguration ticks across them on a shard
-// scheduler: every network advances through the same tick schedule,
-// each tick applied as one Session.ApplyBatch repair, with cross-network
-// statistics aggregated into a FleetReport through mergeable streaming
-// accumulators. Networks never share mutable state: each has a private
-// RNG stream, a private accumulator slot, and a session pinned to the
-// shard plan's inner worker budget, so per-network results are
-// byte-identical at any worker count.
+// drives their reconfiguration ticks on a work-stealing scheduler with
+// per-member tick clocks. Members are heterogeneous: each has its own
+// engine stack, construction kind (oracle or distributed protocol) and
+// per-round tick budget, and each advances at its own pace — a slow or
+// large member never stalls the others' clocks beyond one bounded lease.
+// Members never share mutable state: each has a private RNG stream,
+// private accumulators, and a session pinned to the shard plan's inner
+// worker budget, so per-member results are byte-identical given the
+// member's seed at any worker count. (The PR 5 fleet-wide lockstep
+// invariant — all members always at the same tick — is retired; the
+// per-member invariant is the one that holds and is tested.)
 //
-// A Fleet serializes its own operations (Run and Report may be called
-// from any goroutine, one at a time); the individual sessions remain
-// independently safe for concurrent use.
+// A Fleet serializes its own operations (Run, TickEvents, Report,
+// Checkpoint may be called from any goroutine, one at a time); the
+// individual sessions remain independently safe for concurrent use, and
+// Watermarks reads the per-member clocks without blocking a run in
+// flight.
 type Fleet struct {
 	eng     *Engine
 	workers int
 
-	mu     sync.Mutex
-	nets   []*fleetNetwork
-	target int // ticks every network must reach
+	mu   sync.Mutex
+	nets []*fleetNetwork
 }
 
-// fleetNetwork is one shard slot: all mutable per-network state lives
-// here, touched only by the single shard goroutine currently driving
-// network i (shard slots are disjoint) or under the fleet lock.
+// fleetNetwork is one member slot. Mutable state is touched only by the
+// scheduler worker currently holding the member's lease (handed off
+// through the ready queue, which orders the accesses) or under the fleet
+// lock when no run is in flight; the clocks are atomics so Watermarks
+// can read them from outside.
 type fleetNetwork struct {
-	sess *Session
-	// src is the network's private PCG stream and rng the Rand view over
+	net    int
+	sess   *Session
+	eng    *Engine // member engine; == the fleet engine without overrides
+	kind   MemberKind
+	weight int // ticks per fleet round (MemberSpec.Ticks)
+
+	// src is the member's private PCG stream and rng the Rand view over
 	// it. The source is retained because rand.Rand is a stateless wrapper:
 	// checkpointing serializes src's ~20-byte state directly, so a
 	// restored fleet resumes the exact stream position.
-	src    *rand.PCG
-	rng    *rand.Rand
-	done   int // completed ticks
-	events int // events applied across all ticks
+	src *rand.PCG
+	rng *rand.Rand
 
-	degree, radius, comps, energy stats.Stream
+	done   atomic.Int64 // completed ticks — the member's clock
+	target atomic.Int64 // tick target the scheduler drives the clock to
+
+	events int64      // events applied across all ticks
+	series TickSeries // per-tick TickStats accumulators
+
+	sched schedState
 }
 
-// NewFleet builds a Fleet of len(cfg.Placements) networks, running the
-// initial CBTC(α) computation of every network across the shard pool.
-// Cancelling ctx aborts construction.
-func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) {
-	m := len(cfg.Placements)
-	if m == 0 {
-		return nil, fmt.Errorf("%w: fleet needs at least one placement", ErrBadConfig)
+// schedState is one member's scheduling telemetry. It measures wall
+// clock, so unlike everything else in a report it is NOT deterministic;
+// it is excluded from checkpoints and zeroed before report-equality
+// assertions.
+type schedState struct {
+	leases   int64
+	requeues int64
+	timeouts int64
+	busyNs   int64
+	ewmaNs   int64 // flow-rate estimate of one tick's cost
+}
+
+// Lease sizing for the work-stealing scheduler. A lease aims at
+// leaseTargetNs of work — the flow-rate estimate sizes the tick quantum
+// so fast members batch many cheap ticks per queue round-trip while
+// expensive members take one — and is hard-bounded by leaseBudgetNs:
+// when a member turns slow mid-lease (churn grew it, a batch hit an
+// expensive repair), the lease times out at the next tick boundary and
+// the member requeues behind the others instead of monopolizing its
+// worker. Vars, not consts, so tests can tighten them.
+var (
+	leaseTargetNs int64 = 2e6
+	leaseBudgetNs int64 = 8e6
+)
+
+// maxLeaseTicks caps a lease's tick quantum — the bounded in-flight work
+// per member.
+const maxLeaseTicks = 32
+
+// quantum sizes the next lease from the member's flow rate.
+func (n *fleetNetwork) quantum() int {
+	ewma := n.sched.ewmaNs
+	if ewma <= 0 {
+		return 1
 	}
+	q := leaseTargetNs / ewma
+	if q < 1 {
+		return 1
+	}
+	if q > maxLeaseTicks {
+		return maxLeaseTicks
+	}
+	return int(q)
+}
+
+// tickOnce advances the member's clock by one tick and folds the
+// observation into its accumulators.
+func (n *fleetNetwork) tickOnce(fn TickFunc) error {
+	start := time.Now()
+	tick := int(n.done.Load())
+	events := fn(n.net, tick, n.rng, n.sess)
+	_, ts, err := n.sess.Tick(events)
+	if err != nil {
+		return fmt.Errorf("network %d tick %d: %w", n.net, tick, err)
+	}
+	n.events += int64(len(events))
+	n.series.Observe(ts)
+	n.done.Add(1)
+	cost := time.Since(start).Nanoseconds()
+	if n.sched.ewmaNs == 0 {
+		n.sched.ewmaNs = cost
+	} else {
+		n.sched.ewmaNs += (cost - n.sched.ewmaNs) / 4
+	}
+	return nil
+}
+
+// lease runs one bounded scheduling lease on the member: up to quantum()
+// ticks, aborted early at a tick boundary once the time budget is
+// exceeded. It reports whether the member still has ticks outstanding
+// (and must requeue).
+func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc) (again bool, err error) {
+	n.sched.leases++
+	quantum := n.quantum()
+	start := time.Now()
+	for k := 0; k < quantum && n.done.Load() < n.target.Load(); k++ {
+		if err := ctx.Err(); err != nil {
+			n.sched.busyNs += time.Since(start).Nanoseconds()
+			return false, err
+		}
+		if err := n.tickOnce(fn); err != nil {
+			n.sched.busyNs += time.Since(start).Nanoseconds()
+			return false, err
+		}
+		if k+1 < quantum && time.Since(start).Nanoseconds() > leaseBudgetNs {
+			n.sched.timeouts++
+			break
+		}
+	}
+	n.sched.busyNs += time.Since(start).Nanoseconds()
+	if n.done.Load() < n.target.Load() {
+		n.sched.requeues++
+		return true, nil
+	}
+	return false, nil
+}
+
+// NewFleet builds a Fleet from the config's member specs, running the
+// initial CBTC(α) construction of every member — oracle or protocol —
+// across the shard pool. Per-member options are validated up front, so
+// a bad override fails before any construction work. Cancelling ctx
+// aborts construction.
+func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) {
+	specs, err := cfg.members()
+	if err != nil {
+		return nil, err
+	}
+	m := len(specs)
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = e.workers
@@ -163,10 +374,28 @@ func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) 
 	if workers < 0 {
 		return nil, fmt.Errorf("%w: negative fleet worker count %d", ErrBadConfig, cfg.Workers)
 	}
+	engines := make([]*Engine, m)
+	for i := range specs {
+		if engines[i], err = e.derive(specs[i].Options...); err != nil {
+			return nil, fmt.Errorf("member %d options: %w", i, err)
+		}
+	}
 	f := &Fleet{eng: e, workers: workers, nets: make([]*fleetNetwork, m)}
 	plan := planShards(workers, m)
-	err := plan.run(ctx, m, func(ctx context.Context, i int) error {
-		sess, err := e.newSession(ctx, cfg.Placements[i], plan.inner)
+	err = plan.run(ctx, m, func(ctx context.Context, i int) error {
+		spec := specs[i]
+		var sess *Session
+		var err error
+		switch spec.Kind {
+		case MemberProtocol:
+			sim := spec.Sim
+			if sim.Seed == 0 {
+				sim.Seed = workload.Mix(cfg.Seed, uint64(i))
+			}
+			sess, err = engines[i].newProtocolSession(ctx, spec.Placement, sim, plan.inner)
+		default:
+			sess, err = engines[i].newSession(ctx, spec.Placement, plan.inner)
+		}
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return ctxErr
@@ -174,7 +403,11 @@ func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) 
 			return fmt.Errorf("network %d: %w", i, err)
 		}
 		src := rand.NewPCG(cfg.Seed, workload.Mix(cfg.Seed, uint64(i)))
-		f.nets[i] = &fleetNetwork{sess: sess, src: src, rng: rand.New(src)}
+		f.nets[i] = &fleetNetwork{
+			net: i, sess: sess, eng: engines[i],
+			kind: spec.Kind, weight: spec.Ticks,
+			src: src, rng: rand.New(src),
+		}
 		return nil
 	})
 	if err != nil {
@@ -183,76 +416,199 @@ func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) 
 	return f, nil
 }
 
-// Size returns the number of networks in the fleet.
+// Size returns the number of members in the fleet.
 func (f *Fleet) Size() int { return len(f.nets) }
 
-// Session returns network i's Session, for direct inspection. The
+// Session returns member i's Session, for direct inspection. The
 // session is live — it keeps evolving with subsequent fleet ticks.
 func (f *Fleet) Session(i int) *Session { return f.nets[i].sess }
 
-// Run advances every network by ticks synchronized ticks and returns
-// the aggregated FleetReport. Per tick and per network it calls fn for
-// the tick's events, applies them as one batched repair, and folds the
-// repaired topology's TickStats into the network's accumulators.
+// MemberClock is one member's tick-clock position.
+type MemberClock struct {
+	// Net is the member's index in the fleet.
+	Net int
+	// Kind and Weight echo the member's spec.
+	Kind MemberKind
+	// Weight is the member's tick budget per fleet round.
+	Weight int
+	// Ticks and Target are the member's completed ticks and current tick
+	// target.
+	Ticks, Target int
+}
+
+// TickWatermarks summarizes ragged per-member progress: Min is the
+// slowest member's completed ticks, Max the fastest's. Under the
+// heterogeneous scheduler Min == Max only for homogeneous fleets at
+// rest; anything reporting a single fleet "tick count" reports Min —
+// what every member has completed at least.
+type TickWatermarks struct {
+	Min, Max int
+}
+
+// FleetWatermarks is the fleet's full clock state.
+type FleetWatermarks struct {
+	// Ticks holds the min/max completed-tick watermarks.
+	Ticks TickWatermarks
+	// Members lists every member's clock in fleet order.
+	Members []MemberClock
+}
+
+// Watermarks reads every member's tick clock. It is safe to call at any
+// time — including while a Run is in flight on another goroutine — and
+// never blocks on the fleet lock: the clocks are atomics published at
+// every tick boundary, which is how the straggler tests observe that
+// fast members keep advancing while a slow member lags.
+func (f *Fleet) Watermarks() FleetWatermarks {
+	wm := FleetWatermarks{Members: make([]MemberClock, len(f.nets))}
+	for i, net := range f.nets {
+		c := MemberClock{
+			Net: i, Kind: net.kind, Weight: net.weight,
+			Ticks:  int(net.done.Load()),
+			Target: int(net.target.Load()),
+		}
+		wm.Members[i] = c
+		if i == 0 || c.Ticks < wm.Ticks.Min {
+			wm.Ticks.Min = c.Ticks
+		}
+		if c.Ticks > wm.Ticks.Max {
+			wm.Ticks.Max = c.Ticks
+		}
+	}
+	return wm
+}
+
+// Advance advances every member by rounds fleet rounds — member i's
+// tick target grows by rounds×Weight(i) — and drives all members to
+// their targets on the work-stealing scheduler, without assembling a
+// report. Run is Advance followed by Report.
 //
-// Cancellation drains cleanly: shards stop at the next tick boundary
-// and Run returns ctx.Err(), leaving every session at a consistent
+// Per member the scheduler calls fn for each tick's events and applies
+// them as one batched repair; members are leased to pool workers in
+// bounded tick quanta sized by each member's measured flow rate, with a
+// per-lease time budget that requeues a member that turns slow, so no
+// member monopolizes a worker and fast members never wait for stragglers
+// beyond one lease.
+//
+// Cancellation drains cleanly: workers stop at the next tick boundary
+// and Advance returns ctx.Err(), leaving every session at a consistent
 // repaired state (mid-tick progress never leaks — a tick either applied
-// fully or not at all on each network). The requested tick target is
-// retained, so a later Run first catches lagging networks up before
-// adding its own ticks; Run(ctx, 0, fn) completes exactly the remainder
-// of a cancelled run.
-func (f *Fleet) Run(ctx context.Context, ticks int, fn TickFunc) (*FleetReport, error) {
-	if ticks < 0 {
-		return nil, fmt.Errorf("%w: negative tick count %d", ErrBadConfig, ticks)
+// fully or not at all on each member). The tick targets are retained, so
+// a later Advance first catches lagging members up before adding its own
+// rounds; Advance(ctx, 0, fn) completes exactly the remainder of a
+// cancelled run.
+func (f *Fleet) Advance(ctx context.Context, rounds int, fn TickFunc) error {
+	if rounds < 0 {
+		return fmt.Errorf("%w: negative round count %d", ErrBadConfig, rounds)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.target += ticks
-	plan := planShards(f.workers, len(f.nets))
-	err := plan.run(ctx, len(f.nets), func(ctx context.Context, i int) error {
-		net := f.nets[i]
-		for net.done < f.target {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			events := fn(i, net.done, net.rng, net.sess)
-			_, ts, err := net.sess.Tick(events)
-			if err != nil {
-				return fmt.Errorf("network %d tick %d: %w", i, net.done, err)
-			}
-			net.events += len(events)
-			net.degree.Add(ts.AvgDegree)
-			net.radius.Add(ts.AvgRadius)
-			net.comps.Add(float64(ts.Components))
-			net.energy.Add(ts.Energy)
-			net.done++
+	for _, net := range f.nets {
+		net.target.Add(int64(rounds) * int64(net.weight))
+	}
+	return f.advanceLocked(ctx, fn)
+}
+
+// advanceLocked drives every member with outstanding ticks to its
+// target on the work-stealing pool: members start on a ready queue,
+// each pool worker leases one member at a time for a bounded quantum,
+// and members with ticks still outstanding requeue at the tail. A
+// member is held by at most one worker at a time, so its tick sequence
+// is serial and its results scheduling-independent.
+func (f *Fleet) advanceLocked(ctx context.Context, fn TickFunc) error {
+	backlog := 0
+	ready := make(chan *fleetNetwork, len(f.nets))
+	for _, net := range f.nets {
+		if net.done.Load() < net.target.Load() {
+			ready <- net
+			backlog++
 		}
-		return nil
-	})
-	if err != nil {
+	}
+	if backlog == 0 {
+		return ctx.Err()
+	}
+	var pending atomic.Int64
+	pending.Store(int64(backlog))
+	drained := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers := planShards(f.workers, backlog).shards
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-drained:
+					return
+				case net := <-ready:
+					again, err := net.lease(ctx, fn)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if again {
+						// Each member occupies at most one queue slot, so
+						// the buffered send cannot block.
+						ready <- net
+					} else if pending.Add(-1) == 0 {
+						close(drained)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Run advances every member by rounds fleet rounds (Advance) and returns
+// the aggregated FleetReport.
+func (f *Fleet) Run(ctx context.Context, rounds int, fn TickFunc) (*FleetReport, error) {
+	if err := f.Advance(ctx, rounds, fn); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.reportLocked(ctx)
 }
 
-// TickEvents advances every network by exactly one synchronized tick,
-// applying externally-supplied event batches instead of TickFunc-generated
-// ones — the ingestion path of long-lived drivers (cmd/fleetd) that
-// receive Join/Leave/Move traffic from outside. events must hold one
-// batch per network (len(events) == Size; empty batches are fine).
+// TickEvents advances selected members by exactly one tick each,
+// applying externally-supplied event batches instead of
+// TickFunc-generated ones — the ingestion path of long-lived drivers
+// (cmd/fleetd) that receive Join/Leave/Move traffic from outside.
+// events must hold one slot per member (len(events) == Size). A nil
+// batch skips its member — the clock does not move, which is how
+// external traffic produces ragged per-member watermarks; a non-nil
+// (even empty) batch counts as one tick for that member.
 //
 // Every batch is validated against its session's current state before
 // anything is applied, so an invalid batch returns an ErrBadEvent error
 // with the fleet untouched. Once started the tick is atomic: ctx is
-// checked only at entry, each network's batch applies as one
+// checked only at entry, each member's batch applies as one
 // Session.Tick, and per-tick statistics fold into the same accumulators
-// Run feeds — a fleet driven by TickEvents reports exactly like one
-// driven by Run over the same event schedule, at any worker count.
+// Run feeds.
 //
-// TickEvents requires every network to be caught up to the fleet's tick
-// target; after a cancelled Run, complete the remainder first with
-// Run(ctx, 0, fn).
+// TickEvents requires each ticked member to be caught up to its tick
+// target; after a cancelled Run or Advance, complete the remainder
+// first with Advance(ctx, 0, fn).
 func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 	if len(events) != len(f.nets) {
 		return fmt.Errorf("%w: %d event batches for %d networks", ErrBadEvent, len(events), len(f.nets))
@@ -262,34 +618,41 @@ func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	var ticked []int
 	for i, net := range f.nets {
-		if net.done != f.target {
-			return fmt.Errorf("%w: network %d is at tick %d but the fleet target is %d; finish the interrupted Run first", ErrBadEvent, i, net.done, f.target)
+		if events[i] == nil {
+			continue
+		}
+		if done, target := net.done.Load(), net.target.Load(); done != target {
+			return fmt.Errorf("%w: network %d is at tick %d but its target is %d; finish the interrupted run first", ErrBadEvent, i, done, target)
 		}
 		if err := net.sess.ValidateBatch(events[i]); err != nil {
 			return fmt.Errorf("network %d: %w", i, err)
 		}
+		ticked = append(ticked, i)
 	}
-	f.target++
-	plan := planShards(f.workers, len(f.nets))
+	if len(ticked) == 0 {
+		return nil
+	}
+	for _, i := range ticked {
+		f.nets[i].target.Add(1)
+	}
+	plan := planShards(f.workers, len(ticked))
 	// Background context: the pre-validated tick must complete atomically,
-	// or a cancellation would strand networks at different tick counts
-	// with their external batches lost.
-	err := plan.run(context.Background(), len(f.nets), func(_ context.Context, i int) error {
+	// or a cancellation would strand members mid-batch with their external
+	// events lost.
+	return plan.run(context.Background(), len(ticked), func(_ context.Context, k int) error {
+		i := ticked[k]
 		net := f.nets[i]
 		_, ts, err := net.sess.Tick(events[i])
 		if err != nil {
-			return fmt.Errorf("network %d tick %d: %w", i, net.done, err)
+			return fmt.Errorf("network %d tick %d: %w", i, net.done.Load(), err)
 		}
-		net.events += len(events[i])
-		net.degree.Add(ts.AvgDegree)
-		net.radius.Add(ts.AvgRadius)
-		net.comps.Add(float64(ts.Components))
-		net.energy.Add(ts.Energy)
-		net.done++
+		net.events += int64(len(events[i]))
+		net.series.Observe(ts)
+		net.done.Add(1)
 		return nil
 	})
-	return err
 }
 
 // Report aggregates the fleet's current state into a FleetReport
@@ -300,12 +663,66 @@ func (f *Fleet) Report() (*FleetReport, error) {
 	return f.reportLocked(context.Background())
 }
 
-// reportLocked assembles the report in two phases: the per-network
+// NetworkReport assembles member i's slice of the fleet report alone —
+// the drill-down shape fleetd serves as GET /network/{i}, so the HTTP
+// JSON and the Go API share field names exactly.
+func (f *Fleet) NetworkReport(i int) (*FleetNetworkReport, error) {
+	if i < 0 || i >= len(f.nets) {
+		return nil, fmt.Errorf("%w: no network %d in a fleet of %d", ErrBadConfig, i, len(f.nets))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nr, err := f.networkReportLocked(i)
+	if err != nil {
+		return nil, err
+	}
+	return &nr, nil
+}
+
+// networkReportLocked builds one member's report slot.
+func (f *Fleet) networkReportLocked(i int) (FleetNetworkReport, error) {
+	net := f.nets[i]
+	snap, err := net.sess.Snapshot()
+	if err != nil {
+		return FleetNetworkReport{}, fmt.Errorf("network %d snapshot: %w", i, err)
+	}
+	ts, err := net.sess.Observe()
+	if err != nil {
+		return FleetNetworkReport{}, fmt.Errorf("network %d: %w", i, err)
+	}
+	nr := FleetNetworkReport{
+		Net:       i,
+		Kind:      net.kind,
+		Weight:    net.weight,
+		Ticks:     int(net.done.Load()),
+		Target:    int(net.target.Load()),
+		Events:    int(net.events),
+		Final:     ts,
+		Preserved: snap.PreservesConnectivity(),
+		Stats:     net.sess.Stats(),
+		Series:    net.series,
+		Sched: MemberSchedStats{
+			Leases:   net.sched.leases,
+			Requeues: net.sched.requeues,
+			Timeouts: net.sched.timeouts,
+			BusyNs:   net.sched.busyNs,
+			TickNs:   net.sched.ewmaNs,
+		},
+	}
+	for id := 0; id < net.sess.Len(); id++ {
+		if net.sess.Alive(id) {
+			nr.DegreeDist.Add(snap.G.Degree(id))
+		}
+	}
+	return nr, nil
+}
+
+// reportLocked assembles the report in two phases: the per-member
 // snapshots fan across the shard pool into disjoint slots, then the
-// aggregate accumulators merge serially in network order — so the
-// merged floats, like everything else in the report, are independent
-// of scheduling. Cancelling ctx aborts between snapshots (they can be
-// full rebuilds on pairwise-stack fleets).
+// aggregate accumulators merge serially in fleet order — so the merged
+// floats, like everything else in the report except Sched, are
+// independent of scheduling. Cancelling ctx aborts between snapshots
+// (they can be full rebuilds on pairwise-stack members).
 func (f *Fleet) reportLocked(ctx context.Context) (*FleetReport, error) {
 	rep := &FleetReport{
 		Networks:   len(f.nets),
@@ -313,31 +730,9 @@ func (f *Fleet) reportLocked(ctx context.Context) (*FleetReport, error) {
 	}
 	plan := planShards(f.workers, len(f.nets))
 	err := plan.run(ctx, len(f.nets), func(_ context.Context, i int) error {
-		net := f.nets[i]
-		snap, err := net.sess.Snapshot()
+		nr, err := f.networkReportLocked(i)
 		if err != nil {
-			return fmt.Errorf("network %d snapshot: %w", i, err)
-		}
-		ts, err := net.sess.Observe()
-		if err != nil {
-			return fmt.Errorf("network %d: %w", i, err)
-		}
-		nr := FleetNetworkReport{
-			Net:        i,
-			Ticks:      net.done,
-			Events:     net.events,
-			Final:      ts,
-			Preserved:  snap.PreservesConnectivity(),
-			Stats:      net.sess.Stats(),
-			Degree:     net.degree,
-			Radius:     net.radius,
-			Components: net.comps,
-			Energy:     net.energy,
-		}
-		for id := 0; id < net.sess.Len(); id++ {
-			if net.sess.Alive(id) {
-				nr.DegreeDist.Add(snap.G.Degree(id))
-			}
+			return err
 		}
 		rep.PerNetwork[i] = nr
 		return nil
@@ -345,11 +740,13 @@ func (f *Fleet) reportLocked(ctx context.Context) (*FleetReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.Ticks = rep.PerNetwork[0].Ticks
 	for i := range rep.PerNetwork {
 		nr := &rep.PerNetwork[i]
-		if nr.Ticks < rep.Ticks {
-			rep.Ticks = nr.Ticks
+		if i == 0 || nr.Ticks < rep.Watermarks.Min {
+			rep.Watermarks.Min = nr.Ticks
+		}
+		if nr.Ticks > rep.Watermarks.Max {
+			rep.Watermarks.Max = nr.Ticks
 		}
 		rep.Events += nr.Events
 		rep.Live += nr.Final.Live
@@ -357,61 +754,90 @@ func (f *Fleet) reportLocked(ctx context.Context) (*FleetReport, error) {
 		if nr.Preserved {
 			rep.Preserved++
 		}
-		rep.Degree.Merge(&nr.Degree)
-		rep.Radius.Merge(&nr.Radius)
-		rep.Components.Merge(&nr.Components)
-		rep.Energy.Merge(&nr.Energy)
+		rep.Series.Merge(&nr.Series)
 		rep.DegreeDist.Merge(&nr.DegreeDist)
 	}
 	return rep, nil
 }
 
-// FleetReport aggregates a fleet's state across networks. Everything in
-// it — the per-network slots and the merged accumulators — is a pure
+// FleetReport aggregates a fleet's state across members. Everything in
+// it — the per-member slots and the merged accumulators — is a pure
 // function of the fleet's configuration and tick schedule, independent
-// of the worker count the fleet ran with.
+// of the worker count the fleet ran with, except the per-member Sched
+// telemetry, which measures wall clock.
 type FleetReport struct {
 	// Networks is the fleet size M.
 	Networks int
-	// Ticks is the number of completed synchronized ticks — of the
-	// slowest network, when a cancelled Run left ragged progress.
-	Ticks int
-	// Events is the total number of events applied across all networks.
+	// Watermarks holds the min/max completed-tick counts across members.
+	// Under heterogeneous tick budgets there is no single fleet tick
+	// count: Min is what every member has completed at least (the PR 5
+	// Ticks field's implicit meaning, now explicit), Max the fastest
+	// member's clock.
+	Watermarks TickWatermarks
+	// Events is the total number of events applied across all members.
 	Events int
 	// Live and Edges total the live nodes and topology edges at report
 	// time.
 	Live, Edges int
-	// Preserved counts networks whose snapshot preserves the
-	// ground-truth partition (Theorem 2.1's guarantee).
+	// Preserved counts members whose snapshot preserves the ground-truth
+	// partition (Theorem 2.1's guarantee).
 	Preserved int
-	// Degree, Radius, Components and Energy merge every network's
-	// per-tick TickStats series: one observation per network per tick.
-	Degree, Radius, Components, Energy stats.Stream
+	// Series merges every member's per-tick TickStats series: one
+	// observation per member per completed tick.
+	Series TickSeries
 	// DegreeDist is the distribution of live-node degrees at report
-	// time, across all networks.
+	// time, across all members.
 	DegreeDist stats.IntHist
-	// PerNetwork holds each network's report in fleet order.
+	// PerNetwork holds each member's report in fleet order.
 	PerNetwork []FleetNetworkReport
 }
 
-// FleetNetworkReport is one network's slice of a FleetReport.
+// MemberSchedStats is one member's work-stealing telemetry: how the
+// scheduler actually served it. It measures wall clock and is therefore
+// not deterministic — it is excluded from checkpoints and must be
+// zeroed before byte-identity comparisons of reports.
+type MemberSchedStats struct {
+	// Leases counts scheduling leases granted to the member.
+	Leases int64
+	// Requeues counts leases that ended with ticks still outstanding.
+	Requeues int64
+	// Timeouts counts leases aborted early because the member exceeded
+	// the per-lease time budget — the straggler path.
+	Timeouts int64
+	// BusyNs is the total wall-clock time workers spent driving the
+	// member.
+	BusyNs int64
+	// TickNs is the scheduler's flow-rate estimate (EWMA) of one tick's
+	// cost.
+	TickNs int64
+}
+
+// FleetNetworkReport is one member's slice of a FleetReport.
 type FleetNetworkReport struct {
-	// Net is the network's index in the fleet.
+	// Net is the member's index in the fleet.
 	Net int
-	// Ticks and Events count the network's completed ticks and applied
-	// events.
-	Ticks, Events int
-	// Final is the network's topology metrics at report time.
+	// Kind and Weight echo the member's spec.
+	Kind MemberKind
+	// Weight is the member's tick budget per fleet round.
+	Weight int
+	// Ticks and Target are the member's completed ticks and current tick
+	// target (equal unless a run was cancelled mid-flight).
+	Ticks, Target int
+	// Events counts the member's applied events.
+	Events int
+	// Final is the member's topology metrics at report time.
 	Final TickStats
-	// Preserved reports whether the network's snapshot preserves the
+	// Preserved reports whether the member's snapshot preserves the
 	// ground-truth partition.
 	Preserved bool
 	// Stats are the session's cumulative §4 reconfiguration counts.
 	Stats SessionStats
-	// Degree, Radius, Components and Energy accumulate the network's
-	// per-tick TickStats series.
-	Degree, Radius, Components, Energy stats.Stream
-	// DegreeDist is the network's live-node degree distribution at
-	// report time.
+	// Series accumulates the member's per-tick TickStats series.
+	Series TickSeries
+	// DegreeDist is the member's live-node degree distribution at report
+	// time.
 	DegreeDist stats.IntHist
+	// Sched is the member's scheduling telemetry (wall clock — not
+	// deterministic).
+	Sched MemberSchedStats
 }

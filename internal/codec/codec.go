@@ -8,7 +8,7 @@
 // A checkpoint is a little-endian byte stream:
 //
 //	magic   "CBTC"            (4 bytes)
-//	version uint16            (currently 1)
+//	version uint16            (currently 2)
 //	kind    uint8             (1 = session, 2 = fleet)
 //	payload                   (kind-dependent, length-prefixed sections)
 //	footer  uint32 0xC0DEC0DE (truncation sentinel)
@@ -42,8 +42,11 @@ import (
 
 // Version is the current checkpoint format version. Decoders accept
 // exactly this version: the format ships no migration machinery yet, so
-// a version bump is a deliberate compatibility break.
-const Version = 1
+// a version bump is a deliberate compatibility break. Version 2 made
+// fleet members heterogeneous: each network carries its own engine
+// fingerprint, member kind, tick weight and tick target, and the
+// fleet-global tick target is gone.
+const Version = 2
 
 // Kinds discriminate the two checkpoint payloads.
 const (
@@ -130,11 +133,21 @@ type SessionState struct {
 
 // NetworkState is one fleet member's slice of a FleetState.
 type NetworkState struct {
+	// Config is the member's own engine fingerprint — members are
+	// heterogeneous, so each carries the full resolved configuration its
+	// session state was produced under.
+	Config EngineConfig
+	// Kind is the member-kind ordinal (0 = oracle, 1 = protocol).
+	Kind uint8
+	// Weight is the member's tick budget per fleet round (≥ 1).
+	Weight int64
 	// RNG is the opaque serialized state of the network's private PCG
 	// stream (math/rand/v2 PCG.MarshalBinary).
 	RNG []byte
-	// Done and Events count completed ticks and applied events.
-	Done, Events int64
+	// Done, Target and Events are the member's tick clock, tick target
+	// and applied-event counter. Done may lag Target when the checkpoint
+	// was taken after a cancelled run.
+	Done, Target, Events int64
 	// Degree, Radius, Components and Energy are the network's per-tick
 	// accumulator states.
 	Degree, Radius, Components, Energy stats.Stream
@@ -144,12 +157,10 @@ type NetworkState struct {
 
 // FleetState is the complete serializable state of a Fleet.
 type FleetState struct {
-	// Config is the shared engine fingerprint (one engine drives every
-	// member).
+	// Config is the base engine fingerprint the fleet was built on;
+	// members whose fingerprint equals it restore onto the restoring
+	// engine directly, the rest get derived engines.
 	Config EngineConfig
-	// Target is the tick target every network must reach (Fleet.Run's
-	// retained catch-up target).
-	Target int64
 	// Nets holds every member network in fleet order.
 	Nets []NetworkState
 }

@@ -77,12 +77,17 @@ func validFleet(t testing.TB) *FleetState {
 	stream := func(c int64, mean float64) stats.Stream {
 		return stats.Stream{Count: c, Mean: mean, M2: 0.25, MinV: mean - 1, MaxV: mean + 1}
 	}
+	// Member 1 is heterogeneous: its own fingerprint, protocol-built,
+	// weight 3, and a clock lagging its target (ragged checkpoint).
+	altConfig := testConfig()
+	altConfig.Alpha = 2.0944
+	altSession := *validSession(true)
+	altSession.Config = altConfig
 	return &FleetState{
 		Config: testConfig(),
-		Target: 7,
 		Nets: []NetworkState{
-			{RNG: rng1, Done: 7, Events: 12, Degree: stream(7, 4), Radius: stream(7, 300), Components: stream(7, 1), Energy: stream(7, 9e5), Session: *validSession(true)},
-			{RNG: rng2, Done: 7, Events: 9, Degree: stream(7, 5), Radius: stream(7, 280), Components: stream(7, 2), Energy: stream(7, 8e5), Session: *validSession(true)},
+			{Config: testConfig(), Kind: 0, Weight: 1, RNG: rng1, Done: 7, Target: 7, Events: 12, Degree: stream(7, 4), Radius: stream(7, 300), Components: stream(7, 1), Energy: stream(7, 9e5), Session: *validSession(true)},
+			{Config: altConfig, Kind: 1, Weight: 3, RNG: rng2, Done: 7, Target: 9, Events: 9, Degree: stream(7, 5), Radius: stream(7, 280), Components: stream(7, 2), Energy: stream(7, 8e5), Session: altSession},
 		},
 	}
 }
@@ -151,12 +156,15 @@ func TestFleetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Config != want.Config || got.Target != want.Target || len(got.Nets) != len(want.Nets) {
+	if got.Config != want.Config || len(got.Nets) != len(want.Nets) {
 		t.Fatalf("fleet header differs: %+v", got)
 	}
 	for i := range want.Nets {
 		w, g := &want.Nets[i], &got.Nets[i]
-		if !bytes.Equal(w.RNG, g.RNG) || w.Done != g.Done || w.Events != g.Events {
+		if g.Config != w.Config || g.Kind != w.Kind || g.Weight != w.Weight {
+			t.Fatalf("net %d member spec differs: %+v", i, g)
+		}
+		if !bytes.Equal(w.RNG, g.RNG) || w.Done != g.Done || w.Target != g.Target || w.Events != g.Events {
 			t.Fatalf("net %d counters differ", i)
 		}
 		if w.Degree != g.Degree || w.Radius != g.Radius || w.Components != g.Components || w.Energy != g.Energy {

@@ -46,18 +46,30 @@ func DecodeFleet(r io.Reader) (*FleetState, error) {
 	}
 	st := &FleetState{}
 	d.engineConfig(&st.Config)
-	st.Target = d.i64()
 	m := d.count("network count")
 	for i := 0; i < m && d.err == nil; i++ {
 		var n NetworkState
+		d.engineConfig(&n.Config)
+		n.Kind = d.u8()
+		if d.err == nil && n.Kind > 1 {
+			d.corrupt("network %d: unknown member kind %d", i, n.Kind)
+		}
+		n.Weight = d.i64()
+		if d.err == nil && n.Weight < 1 {
+			d.corrupt("network %d: tick weight %d out of range", i, n.Weight)
+		}
 		n.RNG = d.blob(maxRNGBytes, "rng state")
 		n.Done = d.i64()
+		n.Target = d.i64()
 		n.Events = d.i64()
+		if d.err == nil && (n.Done < 0 || n.Done > n.Target) {
+			d.corrupt("network %d: clock %d outside [0, target %d]", i, n.Done, n.Target)
+		}
 		d.stream(&n.Degree)
 		d.stream(&n.Radius)
 		d.stream(&n.Components)
 		d.stream(&n.Energy)
-		n.Session.Config = st.Config
+		n.Session.Config = n.Config
 		d.sessionBody(&n.Session)
 		if d.err == nil {
 			st.Nets = append(st.Nets, n)

@@ -27,12 +27,15 @@ func EncodeFleet(w io.Writer, st *FleetState) error {
 	e := newEncoder(w)
 	e.header(KindFleet)
 	e.engineConfig(&st.Config)
-	e.i64(st.Target)
 	e.u32(uint32(len(st.Nets)))
 	for i := range st.Nets {
 		n := &st.Nets[i]
+		e.engineConfig(&n.Config)
+		e.u8(n.Kind)
+		e.i64(n.Weight)
 		e.bytes(n.RNG)
 		e.i64(n.Done)
+		e.i64(n.Target)
 		e.i64(n.Events)
 		e.stream(&n.Degree)
 		e.stream(&n.Radius)

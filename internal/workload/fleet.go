@@ -81,6 +81,40 @@ func (fs FleetScenario) Placements(seed uint64) [][]geom.Point {
 	return out
 }
 
+// MemberSize describes one heterogeneous fleet member's shape: its node
+// count, its region side (paper density unless overridden) and its tick
+// budget per fleet round.
+type MemberSize struct {
+	// N is the member's node count.
+	N int
+	// Side is the member's square region side length.
+	Side float64
+	// Ticks is the member's tick budget per fleet round.
+	Ticks int
+}
+
+// StragglerMix returns the straggler-skewed heterogeneous fleet shape
+// used by the async-vs-lockstep benchmark and the scheduler tests: fast
+// light networks of fastN nodes ticking fastTicks times per round, plus
+// one heavyweight straggler of slowN nodes ticking once. Under the
+// work-stealing scheduler the fast members' 4× tick budgets cost only
+// their own wall-clock; under a lockstep barrier every fast tick waits
+// for a straggler tick. All members sit at paper density.
+func StragglerMix(fast, fastN, fastTicks, slowN int) []MemberSize {
+	out := make([]MemberSize, 0, fast+1)
+	for i := 0; i < fast; i++ {
+		out = append(out, MemberSize{N: fastN, Side: LargeNSide(fastN), Ticks: fastTicks})
+	}
+	return append(out, MemberSize{N: slowN, Side: LargeNSide(slowN), Ticks: 1})
+}
+
+// MemberPlacement draws member i's initial uniform placement for a
+// heterogeneous fleet: the same decorrelated per-member stream scheme
+// as FleetScenario.Placements, at the member's own size.
+func MemberPlacement(seed uint64, i int, sz MemberSize) []geom.Point {
+	return Uniform(Rand(Mix(seed, uint64(i))), sz.N, sz.Side, sz.Side)
+}
+
 // Mix derives a decorrelated per-stream seed from a base seed and a
 // stream index, via a splitmix64 finalization round. Fleet members use
 // it so every network owns an independent deterministic RNG stream.

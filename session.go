@@ -9,6 +9,7 @@ import (
 	"cbtc/internal/core"
 	"cbtc/internal/graph"
 	"cbtc/internal/spatial"
+	"cbtc/internal/stats"
 )
 
 // ErrBadEvent reports a Session event referencing an unknown or departed
@@ -118,6 +119,39 @@ func (e *Engine) newSession(ctx context.Context, nodes []Point, workers int) (*S
 	if e.schedule != nil {
 		exec = core.QuantizeTags(exec, e.schedule)
 	}
+	return e.sessionFromExec(ctx, nodes, exec, workers)
+}
+
+// NewProtocolSession builds a Session whose initial topology comes from
+// the distributed Hello/Ack protocol of the paper's Figure 1
+// (Engine.Simulate's execution path) instead of the exact minimal-power
+// oracle. Nodes start from the power levels and discovery rows the
+// protocol run actually produced — including the effects of lossy
+// channels and AoA noise configured in sim — and all subsequent §4
+// reconfiguration events repair that protocol-built state with the
+// session's exact oracle machinery. The simulator is deterministic in
+// sim.Seed, so the session's whole lifetime is reproducible at any
+// worker count. Fleets use this constructor for MemberProtocol members.
+func (e *Engine) NewProtocolSession(ctx context.Context, nodes []Point, sim SimOptions) (*Session, error) {
+	return e.newProtocolSession(ctx, nodes, sim, e.workers)
+}
+
+// newProtocolSession is NewProtocolSession with an explicit worker
+// budget. Protocol tags are already drawn from the protocol's discrete
+// broadcast schedule, so the engine's quantization schedule — a model of
+// exactly that discreteness for oracle tags — is not reapplied.
+func (e *Engine) newProtocolSession(ctx context.Context, nodes []Point, sim SimOptions, workers int) (*Session, error) {
+	exec, err := e.protoExec(ctx, nodes, sim)
+	if err != nil {
+		return nil, err
+	}
+	return e.sessionFromExec(ctx, nodes, exec, workers)
+}
+
+// sessionFromExec builds the live session state around a completed
+// growing-phase execution — the shared back half of the oracle and
+// protocol constructors.
+func (e *Engine) sessionFromExec(ctx context.Context, nodes []Point, exec *core.Execution, workers int) (*Session, error) {
 	s := &Session{
 		eng:         e,
 		workers:     workers,
@@ -445,6 +479,34 @@ type TickStats struct {
 	// Energy is the summed growing-phase power p_{u,α} of live nodes —
 	// the §5 energy figure of merit.
 	Energy float64
+}
+
+// TickSeries accumulates a TickStats series through mergeable streaming
+// moments — the one aggregate shape shared by fleet members
+// (FleetNetworkReport.Series), whole fleets (FleetReport.Series), the
+// fleetd HTTP surface and the fleetsim tables, so every layer names the
+// same quantities the same way.
+type TickSeries struct {
+	// Degree, Radius, Components and Energy stream the corresponding
+	// TickStats fields, one observation per recorded tick.
+	Degree, Radius, Components, Energy stats.Stream
+}
+
+// Observe folds one tick's stats into the series.
+func (ts *TickSeries) Observe(s TickStats) {
+	ts.Degree.Add(s.AvgDegree)
+	ts.Radius.Add(s.AvgRadius)
+	ts.Components.Add(float64(s.Components))
+	ts.Energy.Add(s.Energy)
+}
+
+// Merge folds another series into this one. Merging in a fixed order
+// keeps the combined floating-point moments deterministic.
+func (ts *TickSeries) Merge(o *TickSeries) {
+	ts.Degree.Merge(&o.Degree)
+	ts.Radius.Merge(&o.Radius)
+	ts.Components.Merge(&o.Components)
+	ts.Energy.Merge(&o.Energy)
 }
 
 // Observe computes the session's current TickStats. For engines whose
