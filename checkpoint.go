@@ -187,8 +187,25 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 // traffic — and restores to exactly that raggedness. The wall-clock
 // scheduling telemetry (MemberSchedStats) is deliberately not captured:
 // a restored fleet starts with fresh flow-rate estimates.
+//
+// Checkpoint refuses to run while any member is quarantined — a
+// quarantined session may be mid-mutation and serializing it would
+// launder a poisoned state into the durability chain — returning the
+// *QuarantineError instead; readmit (Fleet.Readmit) the casualties
+// first. Durability drivers pair this with a write-ahead event log, so
+// refusing a checkpoint during quarantine loses nothing.
 func (f *Fleet) Checkpoint(w io.Writer) error {
 	f.mu.Lock()
+	var casualties []*fleetNetwork
+	for _, net := range f.nets {
+		if net.quarantined() {
+			casualties = append(casualties, net)
+		}
+	}
+	if len(casualties) > 0 {
+		f.mu.Unlock()
+		return quarantineError(casualties)
+	}
 	st := &codec.FleetState{
 		Config: f.eng.fingerprint(),
 		Nets:   make([]codec.NetworkState, len(f.nets)),
@@ -284,42 +301,107 @@ func (e *Engine) RestoreFleet(r io.Reader) (*Fleet, error) {
 	}
 	f := &Fleet{eng: e, workers: e.workers, nets: make([]*fleetNetwork, m)}
 	plan := planShards(f.workers, m)
-	base := e.fingerprint()
 	for i := range st.Nets {
-		ns := &st.Nets[i]
-		eng := e
-		if ns.Config != base {
-			if eng, err = engineFromFingerprint(ns.Config, e.workers); err != nil {
-				return nil, fmt.Errorf("network %d: %w", i, err)
-			}
-		}
-		src := &rand.PCG{}
-		if err := src.UnmarshalBinary(ns.RNG); err != nil {
-			return nil, fmt.Errorf("%w: network %d rng state: %v", ErrCheckpointCorrupt, i, err)
-		}
-		sess, err := eng.sessionFromState(&ns.Session, plan.inner)
+		net, err := e.networkFromState(i, &st.Nets[i], plan.inner)
 		if err != nil {
-			return nil, fmt.Errorf("network %d: %w", i, err)
+			return nil, err
 		}
-		net := &fleetNetwork{
-			net:    i,
-			sess:   sess,
-			eng:    eng,
-			kind:   MemberKind(ns.Kind),
-			weight: int(ns.Weight),
-			src:    src,
-			rng:    rand.New(src),
-			events: ns.Events,
-			series: TickSeries{
-				Degree:     ns.Degree,
-				Radius:     ns.Radius,
-				Components: ns.Components,
-				Energy:     ns.Energy,
-			},
-		}
-		net.done.Store(ns.Done)
-		net.target.Store(ns.Target)
 		f.nets[i] = net
 	}
 	return f, nil
+}
+
+// networkFromState rebuilds one fleet member slot from its checkpointed
+// state, deriving the member engine from its embedded fingerprint when
+// it differs from the restoring engine's.
+func (e *Engine) networkFromState(i int, ns *codec.NetworkState, inner int) (*fleetNetwork, error) {
+	eng := e
+	if ns.Config != e.fingerprint() {
+		var err error
+		if eng, err = engineFromFingerprint(ns.Config, e.workers); err != nil {
+			return nil, fmt.Errorf("network %d: %w", i, err)
+		}
+	}
+	src := &rand.PCG{}
+	if err := src.UnmarshalBinary(ns.RNG); err != nil {
+		return nil, fmt.Errorf("%w: network %d rng state: %v", ErrCheckpointCorrupt, i, err)
+	}
+	sess, err := eng.sessionFromState(&ns.Session, inner)
+	if err != nil {
+		return nil, fmt.Errorf("network %d: %w", i, err)
+	}
+	net := &fleetNetwork{
+		net:    i,
+		sess:   sess,
+		eng:    eng,
+		kind:   MemberKind(ns.Kind),
+		weight: int(ns.Weight),
+		src:    src,
+		rng:    rand.New(src),
+		events: ns.Events,
+		series: TickSeries{
+			Degree:     ns.Degree,
+			Radius:     ns.Radius,
+			Components: ns.Components,
+			Energy:     ns.Energy,
+		},
+	}
+	net.done.Store(ns.Done)
+	net.target.Store(ns.Target)
+	return net, nil
+}
+
+// Readmit restores quarantined member i from a fleet checkpoint written
+// by Fleet.Checkpoint, re-admitting it to scheduling: the member's
+// session, RNG stream, clock, event counter and accumulators all resume
+// from the checkpointed state — a known-good fixed point — and its
+// health returns to MemberHealthy. The member's spec (kind, weight,
+// engine fingerprint) must match the checkpoint's slot for network i,
+// and the checkpoint's base fingerprint must match the fleet engine
+// (ErrConfigMismatch otherwise).
+//
+// The readmitted clock is the checkpoint's: if the checkpoint predates
+// the quarantine, the member resumes behind the rest of the fleet (its
+// target is aligned to its restored clock — the raggedness is visible
+// in Watermarks) and its private RNG stream replays the exact event
+// sequence it would have generated, so a readmitted TickFunc-driven
+// member re-converges onto the byte-identical history. Event-driven
+// members (TickEvents) need their post-checkpoint batches replayed by
+// the driver — the job of cmd/fleetd's write-ahead log.
+//
+// Readmit must not be called while a Run, Advance or TickEvents is in
+// flight.
+func (f *Fleet) Readmit(i int, r io.Reader) error {
+	if i < 0 || i >= len(f.nets) {
+		return fmt.Errorf("%w: no network %d in a fleet of %d", ErrBadConfig, i, len(f.nets))
+	}
+	st, err := codec.DecodeFleet(r)
+	if err != nil {
+		return err
+	}
+	if err := f.eng.checkFingerprint(st.Config); err != nil {
+		return err
+	}
+	if len(st.Nets) != len(f.nets) {
+		return fmt.Errorf("%w: checkpoint holds %d networks, fleet has %d", ErrConfigMismatch, len(st.Nets), len(f.nets))
+	}
+	net, err := f.eng.networkFromState(i, &st.Nets[i], planShards(f.workers, len(f.nets)).inner)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := f.nets[i]
+	if !old.quarantined() {
+		return fmt.Errorf("%w: network %d is not quarantined", ErrBadConfig, i)
+	}
+	if net.kind != old.kind || net.weight != old.weight || net.eng.fingerprint() != old.eng.fingerprint() {
+		return fmt.Errorf("%w: checkpoint slot %d describes a different member (kind %s weight %d)", ErrConfigMismatch, i, net.kind, net.weight)
+	}
+	// Re-align the target with the restored clock: whatever the member
+	// was asked to do between the checkpoint and the quarantine is the
+	// driver's to re-request (Advance) or replay (TickEvents).
+	net.target.Store(net.done.Load())
+	f.nets[i] = net
+	return nil
 }

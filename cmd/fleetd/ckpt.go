@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+
+	"cbtc"
+)
+
+// ckptFaultHook, when non-nil, is consulted before each checkpoint
+// write attempt with the attempt's sequence number; returning an error
+// fails the attempt. It exists for the chaos tests (injected
+// checkpoint-write failures exercising the retry/backoff path) and is
+// nil in production.
+var ckptFaultHook func(seq uint64) error
+
+// ckptStore writes and restores fleet checkpoints with generational
+// rotation: the newest checkpoint lives at path, the previous one at
+// path.1, and so on up to path.<gens>. Every write is verified before
+// it is committed — the encoded bytes are decoded back through the
+// engine — so a generation on disk was readable at least once; restore
+// still tries newest to oldest so that later disk corruption of one
+// generation (or a crash between the rotation renames) falls back to
+// the next instead of killing the daemon. Combined with the
+// write-ahead log, falling back to an older generation loses nothing:
+// the log is only reset after a verified checkpoint, so it still holds
+// every acked event past any retained generation's watermarks.
+type ckptStore struct {
+	eng  *cbtc.Engine
+	path string
+	gens int    // older generations retained beyond path itself
+	seq  uint64 // write attempts, for the fault hook
+}
+
+// gen returns the path of generation i (0 = newest).
+func (s *ckptStore) gen(i int) string {
+	if i == 0 {
+		return s.path
+	}
+	return fmt.Sprintf("%s.%d", s.path, i)
+}
+
+// Write checkpoints the fleet as the new newest generation: encode to
+// memory, verify by decoding, write and fsync a temp file, rotate the
+// existing generations down, and rename the temp file into place. A
+// failure at any step leaves the previous generations untouched.
+func (s *ckptStore) Write(fleet *cbtc.Fleet) error {
+	seq := s.seq
+	s.seq++
+	if ckptFaultHook != nil {
+		if err := ckptFaultHook(seq); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if err := fleet.Checkpoint(&buf); err != nil {
+		return err
+	}
+	// Verify-on-write: what we are about to commit must decode. This
+	// catches encoding bugs and injected corruption before a bad byte
+	// stream can shadow the good generations below it.
+	if _, err := s.eng.RestoreFleet(bytes.NewReader(buf.Bytes())); err != nil {
+		return fmt.Errorf("checkpoint failed verification: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(buf.Bytes())
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	// Rotate: path.(gens-1) → path.gens, …, path → path.1. A missing
+	// source (first writes, or a crash mid-rotation) is skipped.
+	for i := s.gens - 1; i >= 0; i-- {
+		if err := os.Rename(s.gen(i), s.gen(i+1)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// Restore tries each generation newest to oldest and returns the first
+// fleet that decodes, along with the path it came from. A generation
+// that is missing or fails to decode falls through to the next; only
+// when no generation exists at all does Restore report
+// (nil, "", os.ErrNotExist) so the caller can build a fresh fleet.
+// When generations exist but none decodes, the accumulated errors are
+// returned — starting fresh would silently discard state.
+func (s *ckptStore) Restore() (*cbtc.Fleet, string, error) {
+	var (
+		errs  []error
+		found bool
+	)
+	for i := 0; i <= s.gens; i++ {
+		p := s.gen(i)
+		f, err := os.Open(p)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				errs = append(errs, err)
+				found = true
+			}
+			continue
+		}
+		found = true
+		fleet, err := s.eng.RestoreFleet(f)
+		f.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", p, err))
+			continue
+		}
+		return fleet, p, nil
+	}
+	if !found {
+		return nil, "", os.ErrNotExist
+	}
+	return nil, "", fmt.Errorf("no readable checkpoint generation: %w", errors.Join(errs...))
+}
+
+// oldestWatermarks decodes the oldest readable generation and returns
+// its per-member tick clocks — the floor below which no fallback
+// restore can land, and therefore the line behind which the
+// write-ahead log may be compacted.
+func (s *ckptStore) oldestWatermarks() (cbtc.FleetWatermarks, bool) {
+	for i := s.gens; i >= 0; i-- {
+		f, err := os.Open(s.gen(i))
+		if err != nil {
+			continue
+		}
+		fleet, err := s.eng.RestoreFleet(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		return fleet.Watermarks(), true
+	}
+	return cbtc.FleetWatermarks{}, false
+}

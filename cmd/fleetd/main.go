@@ -1,26 +1,66 @@
-// Command fleetd is a long-lived fleet daemon: it restores a CBTC(α)
-// fleet from a checkpoint (or builds a fresh one), ingests a stream of
-// Join/Leave/Move events, coalesces them into per-network fleet ticks,
-// serves topology queries while ticking continues, and checkpoints the
-// complete fleet state — sessions, RNG streams, per-member clocks,
-// accumulators — on an interval and on graceful shutdown. Restarting it
-// from the checkpoint resumes exactly where it stopped: the restored
-// topology is edge-identical, the RNG streams continue at their saved
-// positions, and the per-member tick clocks — which go ragged under
-// skewed traffic, since only networks with traffic tick — resume at
-// their exact watermarks.
+// Command fleetd is a long-lived, fault-tolerant fleet daemon: it
+// restores a CBTC(α) fleet from its newest readable checkpoint
+// generation (or builds a fresh one), replays its write-ahead log,
+// ingests a stream of Join/Leave/Move events, coalesces them into
+// per-network fleet ticks, serves topology queries while ticking
+// continues, and checkpoints the complete fleet state — sessions, RNG
+// streams, per-member clocks, accumulators — on an interval and on
+// graceful shutdown.
 //
 // Usage:
 //
 //	fleetd -checkpoint fleet.ckpt [-http :8080]
 //	       [-m 4] [-n 100] [-kind uniform|clustered] [-seed 7]
-//	       [-tick 100ms] [-checkpoint-interval 30s]
+//	       [-tick 100ms] [-checkpoint-interval 30s] [-generations 2]
 //	       [-queue 4096] [-workers 0]
 //
-// If the checkpoint file exists the fleet is restored from it and the
-// scenario flags are ignored; otherwise a fresh fleet of M networks of
-// N nodes is built. Checkpoint writes are atomic (temp file + rename),
-// so a crash mid-write never corrupts the last good checkpoint.
+// # Durability
+//
+// Two artifacts cooperate so that no acknowledged event is ever lost:
+//
+//   - A write-ahead log at <checkpoint>.wal. Every accepted event
+//     batch is appended — length-prefixed, CRC-checked, stamped with
+//     the member tick it produces — and fsynced before it is applied
+//     or acknowledged. A torn tail from a crash mid-append is detected
+//     and truncated on restart.
+//
+//   - Generational checkpoints. Each checkpoint write is verified by
+//     decoding it back before it is committed, then the previous
+//     generations rotate down: <checkpoint> is newest, <checkpoint>.1
+//     older, up to -generations. Restore tries newest to oldest, so a
+//     generation corrupted on disk falls back to the next one.
+//
+// On startup the daemon restores the newest readable generation,
+// replays the log past the restored per-member watermarks (replay is
+// idempotent: batches at or below a member's clock are skipped), then
+// writes a fresh verified checkpoint and compacts the log. Compaction
+// drops only records that the oldest retained generation already
+// covers — never merely the newest — so falling back to any older
+// generation always finds the events it is missing still in the log,
+// at the cost of the log holding roughly the event span of the
+// generation window between restarts.
+//
+// The ack contract: a POST /events response is written only after the
+// accepted events are fsynced to the log and applied, so 202 (and the
+// "accepted" count of any response) means those events survive a
+// kill -9 and will be present after restart. 429 means the queue was
+// full and some events were refused (Retry-After says when to retry);
+// those were not logged.
+//
+// # Failure isolation
+//
+// A member whose tick panics is quarantined by the fleet layer: its
+// clock freezes, the panic and stack are recorded, and the other
+// members keep ticking. fleetd keeps serving — events addressed to a
+// quarantined member are rejected at ingestion, /healthz turns
+// degraded (503) and reports the casualty count, and checkpoints are
+// refused by the fleet until the member is readmitted, so the daemon
+// falls back to its last good generations plus the log, which keeps
+// accumulating. A fatal daemon error attempts one best-effort
+// checkpoint before exiting; interval checkpoint failures are retried
+// with jittered exponential backoff.
+//
+// # Ingestion and queries
 //
 // Events are newline-delimited JSON objects:
 //
@@ -28,27 +68,30 @@
 //	{"op":"leave","net":0,"id":17}
 //	{"op":"move","net":1,"id":3,"x":88.0,"y":12.5}
 //
-// Without -http, events are read from stdin with blocking backpressure
-// (EOF triggers a final tick, a checkpoint, and a clean exit). With
-// -http, the daemon serves:
+// Without -http, events are read from stdin with blocking
+// backpressure (EOF triggers a final tick, a checkpoint, and a clean
+// exit). With -http, the daemon serves:
 //
-//	POST /events      ingest newline-framed events (429 when the queue is full)
-//	GET  /healthz     liveness, ingestion counters and tick watermarks
+//	POST /events      ingest newline-framed events (202 = durable;
+//	                  429 + Retry-After when the queue is full;
+//	                  400 when the stream is malformed or a line
+//	                  exceeds 1 MiB)
+//	GET  /healthz     liveness, counters, watermarks, checkpoint age;
+//	                  503 when degraded
 //	GET  /report      the aggregated FleetReport as JSON
 //	GET  /network/{i} one member's FleetNetworkReport as JSON
 //	POST /checkpoint  force a checkpoint write now
 //
 // Ingestion is decoupled from repair by a bounded queue: each tick
 // drains the queue, validates events against each network's projected
-// liveness (bad events are counted and dropped, never crash a network),
-// and applies each network's burst as one batched repair
-// (Fleet.TickEvents). Only networks that received traffic tick — the
-// others' clocks stand still — so per-member tick counts diverge under
-// skewed traffic. /report and /healthz expose the divergence as
-// min/max watermarks plus per-member clocks; any single "tick count"
-// of the fleet is the min watermark (what every member has completed at
-// least). Queries run concurrently off copy-on-write snapshots; they
-// never block the tick loop.
+// liveness (bad events are counted and dropped, never crash a
+// network), logs the survivors, and applies each network's burst as
+// one batched repair (Fleet.TickEvents). Only networks that received
+// traffic tick — the others' clocks stand still — so per-member tick
+// counts diverge under skewed traffic; /report and /healthz expose the
+// divergence as min/max watermarks plus per-member clocks. Queries run
+// concurrently off copy-on-write snapshots; they never block the tick
+// loop.
 //
 // SIGINT/SIGTERM drain the queue, apply a final tick, write a final
 // checkpoint, and exit 0.
@@ -63,10 +106,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -79,6 +124,7 @@ func main() {
 	var (
 		ckptPath = flag.String("checkpoint", "", "checkpoint file (restore from it if present; write to it on interval and shutdown)")
 		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint interval (0 = only on shutdown)")
+		gens     = flag.Int("generations", 2, "older checkpoint generations to retain (fleet.ckpt.1..N)")
 		httpAddr = flag.String("http", "", "HTTP listen address (empty = read events from stdin)")
 		tickIvl  = flag.Duration("tick", 100*time.Millisecond, "event-coalescing tick interval")
 		queueCap = flag.Int("queue", 4096, "ingestion queue capacity (backpressure bound)")
@@ -89,8 +135,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *tickIvl <= 0 || *queueCap <= 0 || *m <= 0 || *n <= 0 {
-		fail(errors.New("fleetd: -tick, -queue, -m and -n must be positive"))
+	if *tickIvl <= 0 || *queueCap <= 0 || *m <= 0 || *n <= 0 || *gens < 0 {
+		fail(errors.New("fleetd: -tick, -queue, -m and -n must be positive and -generations non-negative"))
 	}
 
 	// The engine stack is fixed (paper radius, shrink-back on), so a
@@ -101,19 +147,15 @@ func main() {
 		fail(err)
 	}
 
-	fleet, restored, err := loadOrCreate(eng, *ckptPath, sc, *seed)
-	if err != nil {
-		fail(err)
-	}
 	d := &daemon{
-		fleet:    fleet,
-		ckptPath: *ckptPath,
-		queue:    make(chan wireEvent, *queueCap),
+		queue:   make(chan queueItem, *queueCap),
+		tickIvl: *tickIvl,
 	}
-	if restored {
-		log.Printf("fleetd: restored %d networks from %s", fleet.Size(), *ckptPath)
-	} else {
-		log.Printf("fleetd: built fresh fleet: %d networks × %d nodes (%s, seed %d)", *m, *n, *kind, *seed)
+	if *ckptPath != "" {
+		d.store = &ckptStore{eng: eng, path: *ckptPath, gens: *gens}
+	}
+	if err := d.recover(eng, sc, *seed); err != nil {
+		fail(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -124,7 +166,7 @@ func main() {
 		srv = &http.Server{Addr: *httpAddr, Handler: d.routes()}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fail(err)
+				d.fail(err)
 			}
 		}()
 		log.Printf("fleetd: serving on %s", *httpAddr)
@@ -132,7 +174,10 @@ func main() {
 		// stdin mode: enqueue with blocking backpressure; EOF initiates the
 		// same graceful shutdown as a signal.
 		go func() {
-			d.readEvents(os.Stdin, true)
+			res := d.readEvents(os.Stdin, true)
+			if res.scanErr != nil {
+				log.Printf("fleetd: stdin: %v", res.scanErr)
+			}
 			stop()
 		}()
 	}
@@ -153,32 +198,8 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// loadOrCreate restores the fleet from path when the file exists, and
-// builds a fresh one from the scenario otherwise.
-func loadOrCreate(eng *cbtc.Engine, path string, sc workload.FleetScenario, seed uint64) (*cbtc.Fleet, bool, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		switch {
-		case err == nil:
-			defer f.Close()
-			fleet, err := eng.RestoreFleet(f)
-			if err != nil {
-				return nil, false, fmt.Errorf("restore %s: %w", path, err)
-			}
-			return fleet, true, nil
-		case !os.IsNotExist(err):
-			return nil, false, err
-		}
-	}
-	members := make([]cbtc.MemberSpec, 0, sc.M)
-	for _, placement := range sc.Placements(seed) {
-		members = append(members, cbtc.MemberSpec{Placement: placement})
-	}
-	fleet, err := eng.NewFleet(context.Background(), cbtc.FleetConfig{Members: members, Seed: seed})
-	return fleet, false, err
-}
-
-// wireEvent is the ingestion JSON shape.
+// wireEvent is the ingestion JSON shape, and the shape the write-ahead
+// log stores.
 type wireEvent struct {
 	Op  string  `json:"op"`
 	Net int     `json:"net"`
@@ -187,65 +208,270 @@ type wireEvent struct {
 	Y   float64 `json:"y"`
 }
 
-// daemon owns the tick loop; HTTP handlers and the stdin reader touch
-// only the queue, the atomic counters, and the fleet's own thread-safe
-// query surface.
-type daemon struct {
-	fleet    *cbtc.Fleet
-	ckptPath string
-	queue    chan wireEvent
-
-	ticks    atomic.Int64 // completed coalescing ticks
-	applied  atomic.Int64 // events applied to sessions
-	rejected atomic.Int64 // events dropped at validation (bad net/id/liveness)
-	dropped  atomic.Int64 // events refused at ingestion (queue full)
+// queueItem is one slot of the ingestion queue: an event, or — when
+// ack is non-nil — a durability waiter. The tick loop answers a waiter
+// after it has logged and applied every event queued before it, which
+// is what lets POST /events respond only once its events are durable.
+type queueItem struct {
+	ev  wireEvent
+	ack chan error
 }
 
-// loop is the daemon's single mutation path: it alone advances the
-// fleet, so ticks, checkpoints and the final drain never race.
+// daemon owns the tick loop; HTTP handlers and the stdin reader touch
+// only the queue, the atomic counters, and the fleet's own thread-safe
+// query surface. The tick loop is the single mutation path: ticks,
+// log appends, checkpoints and the final drain never race.
+type daemon struct {
+	fleet   *cbtc.Fleet
+	store   *ckptStore // nil without -checkpoint
+	wal     *wal       // nil without -checkpoint
+	queue   chan queueItem
+	tickIvl time.Duration
+
+	// ckptMu serializes checkpoint writes: the tick loop's interval and
+	// shutdown checkpoints against POST /checkpoint handlers. The fleet
+	// itself is internally synchronized; this guards the store's
+	// generation rotation.
+	ckptMu sync.Mutex
+
+	ticks      atomic.Int64 // completed coalescing ticks
+	applied    atomic.Int64 // events applied to sessions
+	rejected   atomic.Int64 // events dropped at validation (bad net/id/liveness/quarantine)
+	dropped    atomic.Int64 // events refused at ingestion (queue full)
+	ingestErrs atomic.Int64 // ingestion streams that failed mid-read (oversized line, I/O error)
+	ckptFails  atomic.Int64 // consecutive failed checkpoint attempts
+	lastCkpt   atomic.Int64 // unix milli of last successful checkpoint (0 = never)
+}
+
+// recover brings the daemon to a servable state: restore the newest
+// readable checkpoint generation (or build a fresh fleet), replay the
+// write-ahead log past the restored watermarks, then checkpoint the
+// recovered state and reset the log.
+func (d *daemon) recover(eng *cbtc.Engine, sc workload.FleetScenario, seed uint64) error {
+	if d.store == nil {
+		fleet, err := freshFleet(eng, sc, seed)
+		if err != nil {
+			return err
+		}
+		d.fleet = fleet
+		log.Printf("fleetd: built fresh fleet: %d networks × %d nodes (%s, seed %d)", sc.M, sc.N, sc.Kind, seed)
+		return nil
+	}
+	fleet, from, err := d.store.Restore()
+	switch {
+	case err == nil:
+		d.fleet = fleet
+		log.Printf("fleetd: restored %d networks from %s", fleet.Size(), from)
+	case os.IsNotExist(err):
+		if d.fleet, err = freshFleet(eng, sc, seed); err != nil {
+			return err
+		}
+		log.Printf("fleetd: built fresh fleet: %d networks × %d nodes (%s, seed %d)", sc.M, sc.N, sc.Kind, seed)
+	default:
+		return err
+	}
+	w, recs, err := openWAL(d.store.path + ".wal")
+	if err != nil {
+		return err
+	}
+	d.wal = w
+	if len(recs) > 0 {
+		ticks, events, lost, err := d.replay(recs)
+		if err != nil {
+			return fmt.Errorf("replay %s.wal: %w", d.store.path, err)
+		}
+		log.Printf("fleetd: replayed %d logged ticks (%d events, %d lost to quarantine)", ticks, events, lost)
+	}
+	// Checkpoint the recovered state, then compact the log down to what
+	// the oldest retained generation does not cover. If the fleet came
+	// up quarantined (a poison batch re-panicked during replay) the
+	// checkpoint is refused; keep the whole log so nothing acked is
+	// lost and start degraded.
+	if err := d.writeCheckpoint(); err != nil {
+		log.Printf("fleetd: post-recovery checkpoint failed (starting degraded, log retained): %v", err)
+		return nil
+	}
+	if wm, ok := d.store.oldestWatermarks(); ok {
+		keep := func(rec walRecord) bool {
+			for _, nb := range rec.Nets {
+				if nb.Net >= len(wm.Members) || nb.Tick > wm.Members[nb.Net].Ticks {
+					return true
+				}
+			}
+			return false
+		}
+		compacted, err := d.wal.compact(recs, keep)
+		if err != nil {
+			return fmt.Errorf("compact %s.wal: %w", d.store.path, err)
+		}
+		d.wal = compacted
+	}
+	return nil
+}
+
+func freshFleet(eng *cbtc.Engine, sc workload.FleetScenario, seed uint64) (*cbtc.Fleet, error) {
+	members := make([]cbtc.MemberSpec, 0, sc.M)
+	for _, placement := range sc.Placements(seed) {
+		members = append(members, cbtc.MemberSpec{Placement: placement})
+	}
+	return eng.NewFleet(context.Background(), cbtc.FleetConfig{Members: members, Seed: seed})
+}
+
+// replay applies logged records the restored fleet has not yet seen.
+// Replay is idempotent by watermark: a batch whose stamped tick the
+// member has already completed came from before the checkpoint and is
+// skipped; a batch exactly one past the member's clock applies; any
+// gap means the checkpoint and log disagree and recovery must stop
+// rather than corrupt state. A member that re-panics during replay is
+// quarantined again — its remaining batches are counted as lost and
+// replay continues for the others.
+func (d *daemon) replay(recs []walRecord) (ticks, events, lost int, err error) {
+	for _, rec := range recs {
+		wm := d.fleet.Watermarks()
+		batches := make([][]cbtc.Event, d.fleet.Size())
+		stale := true
+		for _, nb := range rec.Nets {
+			if nb.Net < 0 || nb.Net >= d.fleet.Size() {
+				return ticks, events, lost, fmt.Errorf("logged batch for network %d in a fleet of %d", nb.Net, d.fleet.Size())
+			}
+			mc := wm.Members[nb.Net]
+			if mc.Health == cbtc.MemberQuarantined {
+				lost += len(nb.Events)
+				continue
+			}
+			switch {
+			case nb.Tick <= mc.Ticks:
+				// Already inside the restored checkpoint.
+			case nb.Tick == mc.Ticks+1:
+				batch := make([]cbtc.Event, 0, len(nb.Events))
+				for _, ev := range nb.Events {
+					batch = append(batch, toEvent(ev))
+				}
+				batches[nb.Net] = batch
+				stale = false
+			default:
+				return ticks, events, lost, fmt.Errorf("network %d is at tick %d but the log resumes at tick %d", nb.Net, mc.Ticks, nb.Tick)
+			}
+		}
+		if stale {
+			continue
+		}
+		err := d.fleet.TickEvents(context.Background(), batches)
+		var qe *cbtc.QuarantineError
+		if errors.As(err, &qe) {
+			for _, c := range qe.Casualties {
+				log.Printf("fleetd: replay quarantined network %d at tick %d: %s", c.Net, c.Tick, c.Err)
+				lost += len(batches[c.Net])
+			}
+			err = nil
+		}
+		if err != nil {
+			return ticks, events, lost, err
+		}
+		ticks++
+		for i, b := range batches {
+			if b != nil && d.fleet.Watermarks().Members[i].Health == cbtc.MemberHealthy {
+				events += len(b)
+			}
+		}
+	}
+	return ticks, events, lost, nil
+}
+
+func toEvent(ev wireEvent) cbtc.Event {
+	switch ev.Op {
+	case "join":
+		return cbtc.JoinEvent(cbtc.Pt(ev.X, ev.Y))
+	case "leave":
+		return cbtc.LeaveEvent(ev.ID)
+	default:
+		return cbtc.MoveEvent(ev.ID, cbtc.Pt(ev.X, ev.Y))
+	}
+}
+
+// Checkpoint retry backoff bounds (jittered exponential).
+const (
+	ckptRetryMin = 500 * time.Millisecond
+	ckptRetryMax = 15 * time.Second
+)
+
+// loop is the daemon's single mutation path. Interval checkpoint
+// failures schedule a jittered-backoff retry instead of waiting a full
+// interval; /healthz reports degraded until one succeeds.
 func (d *daemon) loop(ctx context.Context, tickIvl, ckptIvl time.Duration) {
 	ticker := time.NewTicker(tickIvl)
 	defer ticker.Stop()
 	var ckptC <-chan time.Time
-	if d.ckptPath != "" && ckptIvl > 0 {
+	if d.store != nil && ckptIvl > 0 {
 		ck := time.NewTicker(ckptIvl)
 		defer ck.Stop()
 		ckptC = ck.C
+	}
+	var (
+		retryC  <-chan time.Time
+		backoff = ckptRetryMin
+	)
+	checkpoint := func() {
+		if err := d.writeCheckpoint(); err != nil {
+			delay := backoff/2 + rand.N(backoff/2+1)
+			log.Printf("fleetd: checkpoint: %v (retrying in %v)", err, delay.Round(time.Millisecond))
+			retryC = time.After(delay)
+			backoff = min(backoff*2, ckptRetryMax)
+			return
+		}
+		retryC, backoff = nil, ckptRetryMin
 	}
 	for {
 		select {
 		case <-ctx.Done():
 			// Graceful shutdown: apply whatever is queued, then persist.
+			// The log is never reset here — the next start compacts it
+			// against the oldest generation, so a failed or corrupted
+			// final checkpoint can still fall back losslessly.
 			d.tickOnce()
 			if err := d.writeCheckpoint(); err != nil {
-				fail(err)
+				log.Printf("fleetd: final checkpoint failed (log retained): %v", err)
 			}
 			return
 		case <-ticker.C:
 			d.tickOnce()
 		case <-ckptC:
-			if err := d.writeCheckpoint(); err != nil {
-				log.Printf("fleetd: checkpoint: %v", err)
-			}
+			checkpoint()
+		case <-retryC:
+			checkpoint()
 		}
 	}
 }
 
-// tickOnce drains the queue, validates each event against its network's
-// liveness as projected through the earlier events of the same tick
-// (mirroring ApplyBatch's rules, so one bad event is dropped instead of
-// voiding the whole batch), and ticks the networks that received
-// traffic. Traffic-less networks keep a nil batch and are skipped —
-// their clocks stand still, which is where ragged watermarks come from.
+// tickOnce drains the queue, validates each event against its
+// network's liveness as projected through the earlier events of the
+// same tick (mirroring ApplyBatch's rules, so one bad event is dropped
+// instead of voiding the whole batch), logs the accepted survivors,
+// ticks the networks that received traffic, and finally answers the
+// durability waiters drained alongside. Traffic-less networks keep a
+// nil batch and are skipped — their clocks stand still, which is where
+// ragged watermarks come from. Events addressed to a quarantined
+// network are rejected, and a network that panics during this tick is
+// quarantined by the fleet while the rest of the tick commits.
 func (d *daemon) tickOnce() {
-	batches := make([][]cbtc.Event, d.fleet.Size())
-	proj := make([]liveProjection, d.fleet.Size())
-	applied := 0
+	var (
+		batches = make([][]cbtc.Event, d.fleet.Size())
+		wires   = make([][]wireEvent, d.fleet.Size())
+		proj    = make([]liveProjection, d.fleet.Size())
+		waiters []chan error
+		applied int
+		quar    = quarantinedSet(d.fleet)
+	)
 drain:
 	for {
 		select {
-		case ev := <-d.queue:
-			if ev.Net < 0 || ev.Net >= d.fleet.Size() {
+		case item := <-d.queue:
+			if item.ack != nil {
+				waiters = append(waiters, item.ack)
+				continue
+			}
+			ev := item.ev
+			if ev.Net < 0 || ev.Net >= d.fleet.Size() || quar[ev.Net] {
 				d.rejected.Add(1)
 				continue
 			}
@@ -254,36 +480,104 @@ drain:
 			switch ev.Op {
 			case "join":
 				p.admit()
-				batches[ev.Net] = append(batches[ev.Net], cbtc.JoinEvent(cbtc.Pt(ev.X, ev.Y)))
 			case "leave":
 				if !p.live(ev.ID) {
 					d.rejected.Add(1)
 					continue
 				}
 				p.depart(ev.ID)
-				batches[ev.Net] = append(batches[ev.Net], cbtc.LeaveEvent(ev.ID))
 			case "move":
 				if !p.live(ev.ID) {
 					d.rejected.Add(1)
 					continue
 				}
-				batches[ev.Net] = append(batches[ev.Net], cbtc.MoveEvent(ev.ID, cbtc.Pt(ev.X, ev.Y)))
 			default:
 				d.rejected.Add(1)
 				continue
 			}
+			batches[ev.Net] = append(batches[ev.Net], toEvent(ev))
+			wires[ev.Net] = append(wires[ev.Net], ev)
 			applied++
 		default:
 			break drain
 		}
 	}
-	if err := d.fleet.TickEvents(context.Background(), batches); err != nil {
+	finish := func(err error) {
+		for _, ack := range waiters {
+			ack <- err
+		}
+	}
+	if applied > 0 && d.wal != nil {
+		wm := d.fleet.Watermarks()
+		var rec walRecord
+		for i, evs := range wires {
+			if evs != nil {
+				rec.Nets = append(rec.Nets, walBatch{Net: i, Tick: wm.Members[i].Ticks + 1, Events: evs})
+			}
+		}
+		if err := d.wal.Append(rec); err != nil {
+			// The events cannot be made durable: refuse the acks, then go
+			// down (with a best-effort checkpoint) rather than silently
+			// degrade the 202-means-durable contract.
+			finish(err)
+			d.fail(fmt.Errorf("write-ahead log append: %w", err))
+		}
+	}
+	err := d.fleet.TickEvents(context.Background(), batches)
+	var qe *cbtc.QuarantineError
+	if errors.As(err, &qe) {
+		// The casualties' batches did not commit, but they are in the
+		// log: a restart replays them against the pre-panic state. The
+		// healthy members' batches committed; keep serving degraded.
+		for _, c := range qe.Casualties {
+			log.Printf("fleetd: quarantined network %d at tick %d: %s", c.Net, c.Tick, c.Err)
+			applied -= len(batches[c.Net])
+		}
+		err = nil
+	}
+	if err != nil {
 		// Pre-validation makes this unreachable short of a fleet-level
 		// failure; a half-applied tick must not keep serving.
-		fail(err)
+		finish(err)
+		d.fail(err)
 	}
 	d.ticks.Add(1)
 	d.applied.Add(int64(applied))
+	finish(nil)
+}
+
+// quarantinedSet snapshots which members are quarantined. The tick
+// loop is the only mutation path, so the set is stable for the
+// duration of a drain.
+func quarantinedSet(f *cbtc.Fleet) map[int]bool {
+	h := f.Health()
+	if h.Quarantined == 0 {
+		return nil
+	}
+	q := make(map[int]bool, h.Quarantined)
+	for _, m := range h.Members {
+		if m.Health == cbtc.MemberQuarantined {
+			q[m.Net] = true
+		}
+	}
+	return q
+}
+
+// fail attempts one best-effort checkpoint (the write-ahead log is NOT
+// reset — if the checkpoint is bad or refused, the log still covers
+// it) and exits. It must only be called from the tick loop or before
+// serving starts.
+func (d *daemon) fail(err error) {
+	if d.store != nil && d.fleet != nil {
+		d.ckptMu.Lock()
+		defer d.ckptMu.Unlock()
+		if cerr := d.store.Write(d.fleet); cerr != nil {
+			log.Printf("fleetd: crash checkpoint failed: %v", cerr)
+		} else {
+			log.Printf("fleetd: crash checkpoint written to %s", d.store.path)
+		}
+	}
+	fail(err)
 }
 
 // liveProjection tracks one network's liveness as this tick's batch
@@ -316,37 +610,39 @@ func (p *liveProjection) live(id int) bool {
 	return id < p.sess.Len() && p.sess.Alive(id)
 }
 
-// writeCheckpoint persists the fleet atomically: full write to a temp
-// file, fsync, rename over the target.
+// writeCheckpoint persists the fleet through the generational store
+// and tracks checkpoint health for /healthz. It never resets the
+// write-ahead log — only recovery and clean shutdown do that, after
+// verifying the checkpoint that covers it.
 func (d *daemon) writeCheckpoint() error {
-	if d.ckptPath == "" {
+	if d.store == nil {
 		return nil
 	}
-	tmp := d.ckptPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if err := d.store.Write(d.fleet); err != nil {
+		d.ckptFails.Add(1)
 		return err
 	}
-	if err := d.fleet.Checkpoint(f); err == nil {
-		err = f.Sync()
-	} else {
-		_ = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, d.ckptPath)
+	d.ckptFails.Store(0)
+	d.lastCkpt.Store(time.Now().UnixMilli())
+	return nil
+}
+
+// ingestResult summarizes one readEvents call.
+type ingestResult struct {
+	accepted, malformed, dropped int
+	scanErr                      error // stream died mid-read: oversized line or I/O failure
 }
 
 // readEvents decodes newline-framed JSON events from r and enqueues
 // them. When block is true a full queue exerts backpressure on the
-// producer; otherwise the event is counted as dropped and the caller is
-// told how many were accepted.
-func (d *daemon) readEvents(r io.Reader, block bool) (accepted, malformed, droppedNow int) {
+// producer; otherwise the event is counted as dropped. A scanner
+// failure — a line over the 1 MiB limit, or the reader erroring — is
+// surfaced in the result and counted, never silently swallowed: the
+// caller must be able to tell "stream consumed" from "stream died".
+func (d *daemon) readEvents(r io.Reader, block bool) ingestResult {
+	var res ingestResult
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -356,24 +652,46 @@ func (d *daemon) readEvents(r io.Reader, block bool) (accepted, malformed, dropp
 		}
 		var ev wireEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			malformed++
+			res.malformed++
 			d.rejected.Add(1)
 			continue
 		}
 		if block {
-			d.queue <- ev
-			accepted++
+			d.queue <- queueItem{ev: ev}
+			res.accepted++
 			continue
 		}
 		select {
-		case d.queue <- ev:
-			accepted++
+		case d.queue <- queueItem{ev: ev}:
+			res.accepted++
 		default:
-			droppedNow++
+			res.dropped++
 			d.dropped.Add(1)
 		}
 	}
-	return accepted, malformed, droppedNow
+	if err := sc.Err(); err != nil {
+		res.scanErr = err
+		d.ingestErrs.Add(1)
+		log.Printf("fleetd: event stream failed mid-read: %v", err)
+	}
+	return res
+}
+
+// awaitDurable enqueues a durability waiter behind the caller's events
+// and blocks until the tick loop has logged and applied them.
+func (d *daemon) awaitDurable(ctx context.Context) error {
+	ack := make(chan error, 1) // buffered: the loop never blocks on an abandoned waiter
+	select {
+	case d.queue <- queueItem{ack: ack}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-ack:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // routes builds the HTTP query/ingestion surface. Queries read the
@@ -382,26 +700,59 @@ func (d *daemon) readEvents(r io.Reader, block bool) (accepted, malformed, dropp
 func (d *daemon) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /events", func(w http.ResponseWriter, r *http.Request) {
-		accepted, malformed, droppedNow := d.readEvents(r.Body, false)
-		status := http.StatusAccepted
-		if droppedNow > 0 {
-			status = http.StatusTooManyRequests
+		res := d.readEvents(r.Body, false)
+		if res.accepted > 0 {
+			// Hold the response until the accepted events are fsynced to
+			// the log and applied: the reported counts are durable facts.
+			if err := d.awaitDurable(r.Context()); err != nil {
+				http.Error(w, "events accepted but not yet durable: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
 		}
-		writeJSON(w, status, map[string]int{
-			"accepted": accepted, "malformed": malformed, "dropped": droppedNow,
-		})
+		body := map[string]any{
+			"accepted": res.accepted, "malformed": res.malformed, "dropped": res.dropped,
+		}
+		status := http.StatusAccepted
+		switch {
+		case res.scanErr != nil:
+			status = http.StatusBadRequest
+			body["error"] = res.scanErr.Error()
+		case res.dropped > 0:
+			status = http.StatusTooManyRequests
+			// The queue drains every tick: that is when retrying can help.
+			secs := int(d.tickIvl.Round(time.Second) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(max(secs, 1)))
+		}
+		writeJSON(w, status, body)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		wm := d.fleet.Watermarks()
-		writeJSON(w, http.StatusOK, map[string]int64{
-			"networks":  int64(d.fleet.Size()),
-			"ticks":     d.ticks.Load(),
-			"ticks_min": int64(wm.Ticks.Min),
-			"ticks_max": int64(wm.Ticks.Max),
-			"applied":   d.applied.Load(),
-			"rejected":  d.rejected.Load(),
-			"dropped":   d.dropped.Load(),
-			"queued":    int64(len(d.queue)),
+		health := d.fleet.Health()
+		ckptAge := int64(-1)
+		if t := d.lastCkpt.Load(); t > 0 {
+			ckptAge = time.Now().UnixMilli() - t
+		}
+		degraded := health.Quarantined > 0 || d.ckptFails.Load() > 0
+		status := http.StatusOK
+		state := "ok"
+		if degraded {
+			status = http.StatusServiceUnavailable
+			state = "degraded"
+		}
+		writeJSON(w, status, map[string]any{
+			"status":                 state,
+			"networks":               d.fleet.Size(),
+			"quarantined":            health.Quarantined,
+			"ticks":                  d.ticks.Load(),
+			"ticks_min":              wm.Ticks.Min,
+			"ticks_max":              wm.Ticks.Max,
+			"applied":                d.applied.Load(),
+			"rejected":               d.rejected.Load(),
+			"dropped":                d.dropped.Load(),
+			"ingest_errors":          d.ingestErrs.Load(),
+			"queued":                 len(d.queue),
+			"checkpoint_failures":    d.ckptFails.Load(),
+			"last_checkpoint_age_ms": ckptAge,
 		})
 	})
 	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
@@ -428,7 +779,7 @@ func (d *daemon) routes() http.Handler {
 		writeJSON(w, http.StatusOK, nr)
 	})
 	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		if d.ckptPath == "" {
+		if d.store == nil {
 			http.Error(w, "no -checkpoint path configured", http.StatusConflict)
 			return
 		}
@@ -436,7 +787,7 @@ func (d *daemon) routes() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"checkpoint": d.ckptPath})
+		writeJSON(w, http.StatusOK, map[string]string{"checkpoint": d.store.path})
 	})
 	return mux
 }

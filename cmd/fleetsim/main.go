@@ -7,7 +7,7 @@
 //
 //	fleetsim [-m 16] [-n 250] [-kind uniform|clustered] [-ticks 20]
 //	         [-workers 0] [-seed 7] [-moves n/16] [-jitter R/8]
-//	         [-churn 0.25] [-protocol 0] [-v]
+//	         [-churn 0.25] [-protocol 0] [-chaos spec] [-v]
 //
 // Every network runs its own deterministic RNG stream: each member's
 // results are reproducible from the flags alone, at any worker count.
@@ -15,35 +15,51 @@
 // Figure 1 protocol instead of the oracle, exercising a heterogeneous
 // fleet. -workers 1 forces a serial drive — timing serial vs default
 // (GOMAXPROCS) shows the scheduler's speedup on multi-core machines.
+//
+// -chaos injects deterministic faults into member ticks to demonstrate
+// quarantine isolation: the spec is comma-separated key=value pairs
+// (e.g. -chaos seed=3,panic=0.02,delay=0.05,delaymax=2ms). Fault
+// decisions are pure functions of (chaos seed, network, tick), so the
+// same members panic at the same ticks at any worker count; a
+// panicking member is quarantined — clock frozen, panic recorded — and
+// reported in a casualty table while the healthy members' results stay
+// identical to a chaos-free run.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"cbtc"
+	"cbtc/internal/chaos"
 	"cbtc/internal/stats"
 	"cbtc/internal/workload"
 )
 
 func main() {
 	var (
-		m        = flag.Int("m", 16, "number of independent networks")
-		n        = flag.Int("n", 250, "nodes per network")
-		kind     = flag.String("kind", "uniform", "placement kind: uniform | clustered")
-		ticks    = flag.Int("ticks", 20, "fleet rounds to drive")
-		workers  = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS, 1 = serial)")
-		seed     = flag.Uint64("seed", 7, "base seed for placements and tick streams")
-		moves    = flag.Int("moves", 0, "nodes drifting per tick (0 = n/16)")
-		jitter   = flag.Float64("jitter", 0, "drift amplitude (0 = R/8)")
-		churn    = flag.Float64("churn", 0.25, "per-tick join and leave probability")
-		protocol = flag.Int("protocol", 0, "build the first k members with the distributed protocol")
-		verbose  = flag.Bool("v", false, "print the per-network table")
+		m         = flag.Int("m", 16, "number of independent networks")
+		n         = flag.Int("n", 250, "nodes per network")
+		kind      = flag.String("kind", "uniform", "placement kind: uniform | clustered")
+		ticks     = flag.Int("ticks", 20, "fleet rounds to drive")
+		workers   = flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS, 1 = serial)")
+		seed      = flag.Uint64("seed", 7, "base seed for placements and tick streams")
+		moves     = flag.Int("moves", 0, "nodes drifting per tick (0 = n/16)")
+		jitter    = flag.Float64("jitter", 0, "drift amplitude (0 = R/8)")
+		churn     = flag.Float64("churn", 0.25, "per-tick join and leave probability")
+		protocol  = flag.Int("protocol", 0, "build the first k members with the distributed protocol")
+		chaosSpec = flag.String("chaos", "", "deterministic fault injection spec (seed=,panic=,delay=,delaymax=)")
+		verbose   = flag.Bool("v", false, "print the per-network table")
 	)
 	flag.Parse()
+	faults, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fail(err)
+	}
 
 	sc := workload.Fleet(*m, *n, *kind)
 	if *moves > 0 {
@@ -66,9 +82,13 @@ func main() {
 		}
 		members = append(members, spec)
 	}
+	cfg := cbtc.FleetConfig{Members: members, Seed: *seed}
+	if *chaosSpec != "" {
+		cfg.TickHook = chaos.New(faults).Tick
+	}
 	ctx := context.Background()
 	buildStart := time.Now()
-	fleet, err := eng.NewFleet(ctx, cbtc.FleetConfig{Members: members, Seed: *seed})
+	fleet, err := eng.NewFleet(ctx, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -84,7 +104,8 @@ func main() {
 	})
 	runStart := time.Now()
 	rep, err := fleet.Run(ctx, *ticks, tick)
-	if err != nil {
+	var quar *cbtc.QuarantineError
+	if err != nil && !errors.As(err, &quar) {
 		fail(err)
 	}
 	runTime := time.Since(runStart)
@@ -123,7 +144,19 @@ func main() {
 		}
 		fmt.Print(nt.String())
 	}
-	if rep.Preserved != rep.Networks {
+	if rep.Quarantined > 0 {
+		fmt.Printf("\n%d network(s) quarantined:\n", rep.Quarantined)
+		ct := stats.NewTable("net", "tick", "panic")
+		for _, nr := range rep.PerNetwork {
+			if nr.Quarantine != nil {
+				ct.AddRow(fmt.Sprint(nr.Net), fmt.Sprint(nr.Quarantine.Tick), nr.Quarantine.Err)
+			}
+		}
+		fmt.Print(ct.String())
+	}
+	// Quarantined members are excluded from Preserved (their sessions are
+	// not readable), so the guarantee is judged over the healthy members.
+	if rep.Preserved != rep.Networks-rep.Quarantined {
 		fmt.Fprintln(os.Stderr, "fleetsim: SOME NETWORKS LOST THE GROUND-TRUTH PARTITION")
 		os.Exit(1)
 	}

@@ -2,8 +2,12 @@ package cbtc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime/debug"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +40,78 @@ func (k MemberKind) String() string {
 		return fmt.Sprintf("MemberKind(%d)", uint8(k))
 	}
 }
+
+// MemberHealth is a fleet member's failure-domain state.
+type MemberHealth uint8
+
+const (
+	// MemberHealthy means the member ticks normally.
+	MemberHealthy MemberHealth = iota
+	// MemberQuarantined means a tick of the member panicked: its clock is
+	// frozen, the scheduler never leases it, event batches targeting it
+	// are refused, and reports stop reading its session (which may be
+	// mid-mutation). The panic and stack are retained in a
+	// QuarantineRecord; Fleet.Readmit restores the member from a
+	// checkpoint. Healthy members are unaffected — their results remain
+	// byte-identical to a fleet where the casualty never panicked.
+	MemberQuarantined
+)
+
+func (h MemberHealth) String() string {
+	switch h {
+	case MemberHealthy:
+		return "healthy"
+	case MemberQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("MemberHealth(%d)", uint8(h))
+	}
+}
+
+// QuarantineRecord describes one member's quarantine: where its tick
+// panicked and with what.
+type QuarantineRecord struct {
+	// Net is the member's index in the fleet.
+	Net int
+	// Tick is the member tick that panicked (the tick was not completed —
+	// the member's clock stops just below it).
+	Tick int
+	// Err is the panic value, stringified.
+	Err string
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// QuarantineError reports the members a fleet operation quarantined.
+// It is returned — alongside whatever work completed on the healthy
+// members — instead of poisoning the fleet: after a QuarantineError the
+// fleet remains fully usable for every healthy member. Classify with
+// errors.As; inspect the full health state with Fleet.Health.
+type QuarantineError struct {
+	// Casualties lists the members quarantined by this operation, in
+	// fleet order.
+	Casualties []QuarantineRecord
+}
+
+func (e *QuarantineError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cbtc: %d fleet member(s) quarantined:", len(e.Casualties))
+	for _, c := range e.Casualties {
+		fmt.Fprintf(&b, " [net %d tick %d: %s]", c.Net, c.Tick, c.Err)
+	}
+	return b.String()
+}
+
+// TickHook is an instrumentation hook invoked immediately before every
+// member tick, on the scheduler worker driving the member, with the
+// member index and the tick number about to run. It exists for fault
+// injection and observation in tests and simulators (internal/chaos's
+// Injector.Tick is a TickHook): a panic inside the hook is handled
+// exactly like a panicking member tick — the member is quarantined —
+// and a sleep delays only that member. To keep fleet results
+// deterministic a hook must decide faults from its arguments alone,
+// never from wall clock or shared mutable state.
+type TickHook func(net, tick int)
 
 // MemberSpec describes one fleet member: its initial placement, how it
 // is built, the engine options it overrides, and its tick budget. The
@@ -88,6 +164,9 @@ type FleetConfig struct {
 	// worker budget (WithWorkers; GOMAXPROCS by default); one drives the
 	// fleet serially.
 	Workers int
+	// TickHook, when non-nil, is invoked before every member tick — the
+	// fault-injection/instrumentation point. See TickHook.
+	TickHook TickHook
 }
 
 // members resolves the Members/Placements surfaces into one spec list.
@@ -229,6 +308,7 @@ type Fleet struct {
 
 	mu   sync.Mutex
 	nets []*fleetNetwork
+	hook TickHook
 }
 
 // fleetNetwork is one member slot. Mutable state is touched only by the
@@ -253,11 +333,52 @@ type fleetNetwork struct {
 	done   atomic.Int64 // completed ticks — the member's clock
 	target atomic.Int64 // tick target the scheduler drives the clock to
 
+	// health is the member's failure-domain state, atomic so Watermarks
+	// and Health read it lock-free mid-run. The quarantine record is
+	// guarded by its own mutex: it is written once per quarantine on a
+	// worker goroutine and read by lock-free observers.
+	health atomic.Uint32
+	quarMu sync.Mutex
+	quar   QuarantineRecord
+
 	events int64      // events applied across all ticks
 	series TickSeries // per-tick TickStats accumulators
 
 	sched schedState
 }
+
+// quarantined reports the member's health without any lock.
+func (n *fleetNetwork) quarantined() bool {
+	return MemberHealth(n.health.Load()) == MemberQuarantined
+}
+
+// quarantine freezes the member: the panic and stack are recorded, and
+// the health flip stops the scheduler, reports and event ingestion from
+// ever touching the session again (it may be mid-mutation — Session
+// locks release on panic via defer, but the state behind them is
+// suspect until Readmit replaces it).
+func (n *fleetNetwork) quarantine(tick int, cause any) {
+	n.quarMu.Lock()
+	n.quar = QuarantineRecord{
+		Net:   n.net,
+		Tick:  tick,
+		Err:   fmt.Sprint(cause),
+		Stack: string(debug.Stack()),
+	}
+	n.quarMu.Unlock()
+	n.health.Store(uint32(MemberQuarantined))
+}
+
+// quarRecord snapshots the quarantine record.
+func (n *fleetNetwork) quarRecord() QuarantineRecord {
+	n.quarMu.Lock()
+	defer n.quarMu.Unlock()
+	return n.quar
+}
+
+// errMemberQuarantined flows from a panicking tick to the scheduler: the
+// member is out, but the fleet operation continues for everyone else.
+var errMemberQuarantined = errors.New("cbtc: fleet member quarantined")
 
 // schedState is one member's scheduling telemetry. It measures wall
 // clock, so unlike everything else in a report it is NOT deterministic;
@@ -305,10 +426,23 @@ func (n *fleetNetwork) quantum() int {
 }
 
 // tickOnce advances the member's clock by one tick and folds the
-// observation into its accumulators.
-func (n *fleetNetwork) tickOnce(fn TickFunc) error {
+// observation into its accumulators. A panic anywhere in the tick — the
+// hook, the TickFunc, or the session repair itself — is recovered here:
+// the member is quarantined with its clock frozen just below the
+// panicking tick, and errMemberQuarantined tells the scheduler to drop
+// the member without poisoning the rest of the fleet.
+func (n *fleetNetwork) tickOnce(fn TickFunc, hook TickHook) (err error) {
 	start := time.Now()
 	tick := int(n.done.Load())
+	defer func() {
+		if r := recover(); r != nil {
+			n.quarantine(tick, r)
+			err = errMemberQuarantined
+		}
+	}()
+	if hook != nil {
+		hook(n.net, tick)
+	}
 	events := fn(n.net, tick, n.rng, n.sess)
 	_, ts, err := n.sess.Tick(events)
 	if err != nil {
@@ -330,7 +464,7 @@ func (n *fleetNetwork) tickOnce(fn TickFunc) error {
 // ticks, aborted early at a tick boundary once the time budget is
 // exceeded. It reports whether the member still has ticks outstanding
 // (and must requeue).
-func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc) (again bool, err error) {
+func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc, hook TickHook) (again bool, err error) {
 	n.sched.leases++
 	quantum := n.quantum()
 	start := time.Now()
@@ -339,7 +473,7 @@ func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc) (again bool, err 
 			n.sched.busyNs += time.Since(start).Nanoseconds()
 			return false, err
 		}
-		if err := n.tickOnce(fn); err != nil {
+		if err := n.tickOnce(fn, hook); err != nil {
 			n.sched.busyNs += time.Since(start).Nanoseconds()
 			return false, err
 		}
@@ -380,7 +514,7 @@ func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) 
 			return nil, fmt.Errorf("member %d options: %w", i, err)
 		}
 	}
-	f := &Fleet{eng: e, workers: workers, nets: make([]*fleetNetwork, m)}
+	f := &Fleet{eng: e, workers: workers, nets: make([]*fleetNetwork, m), hook: cfg.TickHook}
 	plan := planShards(workers, m)
 	err = plan.run(ctx, m, func(ctx context.Context, i int) error {
 		spec := specs[i]
@@ -434,6 +568,10 @@ type MemberClock struct {
 	// Ticks and Target are the member's completed ticks and current tick
 	// target.
 	Ticks, Target int
+	// Health is the member's failure-domain state. A quarantined member's
+	// clock is frozen: Ticks stops just below the panicking tick (Target
+	// may sit above it — the work the member never completed).
+	Health MemberHealth
 }
 
 // TickWatermarks summarizes ragged per-member progress: Min is the
@@ -465,6 +603,7 @@ func (f *Fleet) Watermarks() FleetWatermarks {
 			Net: i, Kind: net.kind, Weight: net.weight,
 			Ticks:  int(net.done.Load()),
 			Target: int(net.target.Load()),
+			Health: MemberHealth(net.health.Load()),
 		}
 		wm.Members[i] = c
 		if i == 0 || c.Ticks < wm.Ticks.Min {
@@ -496,6 +635,15 @@ func (f *Fleet) Watermarks() FleetWatermarks {
 // a later Advance first catches lagging members up before adding its own
 // rounds; Advance(ctx, 0, fn) completes exactly the remainder of a
 // cancelled run.
+//
+// Failure is isolated per member: a member whose tick panics is
+// quarantined (MemberQuarantined — clock frozen, panic and stack
+// recorded) while every healthy member still reaches its target, and
+// Advance returns a *QuarantineError listing the new casualties. An
+// already-quarantined member is skipped entirely: its target does not
+// grow and it causes no further error. Errors that are returned rather
+// than panicked (a TickFunc emitting invalid events) keep their
+// fail-fast semantics.
 func (f *Fleet) Advance(ctx context.Context, rounds int, fn TickFunc) error {
 	if rounds < 0 {
 		return fmt.Errorf("%w: negative round count %d", ErrBadConfig, rounds)
@@ -503,6 +651,9 @@ func (f *Fleet) Advance(ctx context.Context, rounds int, fn TickFunc) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, net := range f.nets {
+		if net.quarantined() {
+			continue
+		}
 		net.target.Add(int64(rounds) * int64(net.weight))
 	}
 	return f.advanceLocked(ctx, fn)
@@ -518,7 +669,7 @@ func (f *Fleet) advanceLocked(ctx context.Context, fn TickFunc) error {
 	backlog := 0
 	ready := make(chan *fleetNetwork, len(f.nets))
 	for _, net := range f.nets {
-		if net.done.Load() < net.target.Load() {
+		if !net.quarantined() && net.done.Load() < net.target.Load() {
 			ready <- net
 			backlog++
 		}
@@ -543,6 +694,10 @@ func (f *Fleet) advanceLocked(ctx context.Context, fn TickFunc) error {
 		})
 	}
 
+	var (
+		casMu      sync.Mutex
+		casualties []*fleetNetwork
+	)
 	workers := planShards(f.workers, backlog).shards
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -556,7 +711,18 @@ func (f *Fleet) advanceLocked(ctx context.Context, fn TickFunc) error {
 				case <-drained:
 					return
 				case net := <-ready:
-					again, err := net.lease(ctx, fn)
+					again, err := net.lease(ctx, fn, f.hook)
+					if err == errMemberQuarantined {
+						// The member is out, but the fleet is not: account it
+						// as finished so the healthy members keep draining.
+						casMu.Lock()
+						casualties = append(casualties, net)
+						casMu.Unlock()
+						if pending.Add(-1) == 0 {
+							close(drained)
+						}
+						continue
+					}
 					if err != nil {
 						fail(err)
 						return
@@ -576,18 +742,44 @@ func (f *Fleet) advanceLocked(ctx context.Context, fn TickFunc) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return quarantineError(casualties)
+}
+
+// quarantineError assembles a *QuarantineError (typed nil-free: a plain
+// nil error when there are no casualties) in fleet order.
+func quarantineError(casualties []*fleetNetwork) error {
+	if len(casualties) == 0 {
+		return nil
+	}
+	qe := &QuarantineError{Casualties: make([]QuarantineRecord, 0, len(casualties))}
+	for _, net := range casualties {
+		qe.Casualties = append(qe.Casualties, net.quarRecord())
+	}
+	slices.SortFunc(qe.Casualties, func(a, b QuarantineRecord) int { return a.Net - b.Net })
+	return qe
 }
 
 // Run advances every member by rounds fleet rounds (Advance) and returns
-// the aggregated FleetReport.
+// the aggregated FleetReport. When the advance quarantines members, Run
+// still assembles the report — the healthy members' slice of it is
+// complete and exact — and returns it alongside the *QuarantineError,
+// so a caller that chooses to tolerate casualties loses nothing.
 func (f *Fleet) Run(ctx context.Context, rounds int, fn TickFunc) (*FleetReport, error) {
-	if err := f.Advance(ctx, rounds, fn); err != nil {
-		return nil, err
+	advErr := f.Advance(ctx, rounds, fn)
+	var qe *QuarantineError
+	if advErr != nil && !errors.As(advErr, &qe) {
+		return nil, advErr
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.reportLocked(ctx)
+	rep, err := f.reportLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rep, advErr
 }
 
 // TickEvents advances selected members by exactly one tick each,
@@ -608,7 +800,14 @@ func (f *Fleet) Run(ctx context.Context, rounds int, fn TickFunc) (*FleetReport,
 //
 // TickEvents requires each ticked member to be caught up to its tick
 // target; after a cancelled Run or Advance, complete the remainder
-// first with Advance(ctx, 0, fn).
+// first with Advance(ctx, 0, fn). A non-nil batch for a quarantined
+// member is refused up front (ErrBadEvent) with the fleet untouched —
+// check Fleet.Health and route such traffic elsewhere. A member whose
+// tick panics during the call is quarantined exactly as under Advance:
+// the other ticked members complete their batches, and TickEvents
+// returns a *QuarantineError naming the casualties (whose batches did
+// not commit — their events must be considered lost until the member is
+// readmitted or the state replayed).
 func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 	if len(events) != len(f.nets) {
 		return fmt.Errorf("%w: %d event batches for %d networks", ErrBadEvent, len(events), len(f.nets))
@@ -622,6 +821,9 @@ func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 	for i, net := range f.nets {
 		if events[i] == nil {
 			continue
+		}
+		if net.quarantined() {
+			return fmt.Errorf("%w: network %d is quarantined (%s); readmit it before sending it events", ErrBadEvent, i, net.quarRecord().Err)
 		}
 		if done, target := net.done.Load(), net.target.Load(); done != target {
 			return fmt.Errorf("%w: network %d is at tick %d but its target is %d; finish the interrupted run first", ErrBadEvent, i, done, target)
@@ -637,22 +839,105 @@ func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 	for _, i := range ticked {
 		f.nets[i].target.Add(1)
 	}
+	var (
+		casMu      sync.Mutex
+		casualties []*fleetNetwork
+	)
 	plan := planShards(f.workers, len(ticked))
 	// Background context: the pre-validated tick must complete atomically,
 	// or a cancellation would strand members mid-batch with their external
 	// events lost.
-	return plan.run(context.Background(), len(ticked), func(_ context.Context, k int) error {
+	err := plan.run(context.Background(), len(ticked), func(_ context.Context, k int) error {
 		i := ticked[k]
 		net := f.nets[i]
-		_, ts, err := net.sess.Tick(events[i])
-		if err != nil {
-			return fmt.Errorf("network %d tick %d: %w", i, net.done.Load(), err)
+		if err := net.tickEvents(f.hook, events[i]); err != nil {
+			if err == errMemberQuarantined {
+				casMu.Lock()
+				casualties = append(casualties, net)
+				casMu.Unlock()
+				return nil
+			}
+			return err
 		}
-		net.events += int64(len(events[i]))
-		net.series.Observe(ts)
-		net.done.Add(1)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	return quarantineError(casualties)
+}
+
+// tickEvents applies one externally-supplied batch as the member's next
+// tick, with the same panic-quarantine envelope as tickOnce.
+func (n *fleetNetwork) tickEvents(hook TickHook, events []Event) (err error) {
+	tick := int(n.done.Load())
+	defer func() {
+		if r := recover(); r != nil {
+			n.quarantine(tick, r)
+			err = errMemberQuarantined
+		}
+	}()
+	if hook != nil {
+		hook(n.net, tick)
+	}
+	_, ts, err := n.sess.Tick(events)
+	if err != nil {
+		return fmt.Errorf("network %d tick %d: %w", n.net, tick, err)
+	}
+	n.events += int64(len(events))
+	n.series.Observe(ts)
+	n.done.Add(1)
+	return nil
+}
+
+// MemberHealthStatus is one member's health slot in a FleetHealth.
+type MemberHealthStatus struct {
+	// Net is the member's index in the fleet.
+	Net int
+	// Health is the member's failure-domain state.
+	Health MemberHealth
+	// Quarantine holds the member's quarantine record when Health is
+	// MemberQuarantined, nil otherwise.
+	Quarantine *QuarantineRecord
+}
+
+// FleetHealth is the fleet's failure-domain summary.
+type FleetHealth struct {
+	// Healthy and Quarantined count members per health state.
+	Healthy, Quarantined int
+	// Members lists every member's status in fleet order.
+	Members []MemberHealthStatus
+}
+
+// Health reads every member's failure-domain state. Like Watermarks it
+// is lock-free and safe to call while a Run is in flight — it is how a
+// driver notices casualties as they happen rather than at the end of
+// the round.
+func (f *Fleet) Health() FleetHealth {
+	h := FleetHealth{Members: make([]MemberHealthStatus, len(f.nets))}
+	for i, net := range f.nets {
+		st := MemberHealthStatus{Net: i, Health: MemberHealth(net.health.Load())}
+		if st.Health == MemberQuarantined {
+			rec := net.quarRecord()
+			st.Quarantine = &rec
+			h.Quarantined++
+		} else {
+			h.Healthy++
+		}
+		h.Members[i] = st
+	}
+	return h
+}
+
+// SetTickHook installs (or, with nil, removes) the fleet's TickHook —
+// the same hook FleetConfig.TickHook sets at construction, exposed as a
+// setter so restored fleets (Engine.RestoreFleet) can be instrumented
+// too. It must not be called while a Run, Advance or TickEvents is in
+// flight.
+func (f *Fleet) SetTickHook(h TickHook) {
+	f.mu.Lock()
+	f.hook = h
+	f.mu.Unlock()
 }
 
 // Report aggregates the fleet's current state into a FleetReport
@@ -679,9 +964,34 @@ func (f *Fleet) NetworkReport(i int) (*FleetNetworkReport, error) {
 	return &nr, nil
 }
 
-// networkReportLocked builds one member's report slot.
+// networkReportLocked builds one member's report slot. A quarantined
+// member's session is never touched — it may be mid-mutation from the
+// panicking tick — so its slot carries the clock, the accumulated
+// history (events, series) and the quarantine record, with the
+// live-state fields (Final, Preserved, Stats, DegreeDist) zeroed.
 func (f *Fleet) networkReportLocked(i int) (FleetNetworkReport, error) {
 	net := f.nets[i]
+	if net.quarantined() {
+		rec := net.quarRecord()
+		return FleetNetworkReport{
+			Net:        i,
+			Kind:       net.kind,
+			Weight:     net.weight,
+			Ticks:      int(net.done.Load()),
+			Target:     int(net.target.Load()),
+			Events:     int(net.events),
+			Series:     net.series,
+			Health:     MemberQuarantined,
+			Quarantine: &rec,
+			Sched: MemberSchedStats{
+				Leases:   net.sched.leases,
+				Requeues: net.sched.requeues,
+				Timeouts: net.sched.timeouts,
+				BusyNs:   net.sched.busyNs,
+				TickNs:   net.sched.ewmaNs,
+			},
+		}, nil
+	}
 	snap, err := net.sess.Snapshot()
 	if err != nil {
 		return FleetNetworkReport{}, fmt.Errorf("network %d snapshot: %w", i, err)
@@ -749,13 +1059,19 @@ func (f *Fleet) reportLocked(ctx context.Context) (*FleetReport, error) {
 			rep.Watermarks.Max = nr.Ticks
 		}
 		rep.Events += nr.Events
-		rep.Live += nr.Final.Live
-		rep.Edges += nr.Final.Edges
-		if nr.Preserved {
-			rep.Preserved++
+		if nr.Health == MemberQuarantined {
+			// The member's completed history (Events, Series) is fact and
+			// stays in the aggregate; its unreadable live state does not.
+			rep.Quarantined++
+		} else {
+			rep.Live += nr.Final.Live
+			rep.Edges += nr.Final.Edges
+			if nr.Preserved {
+				rep.Preserved++
+			}
+			rep.DegreeDist.Merge(&nr.DegreeDist)
 		}
 		rep.Series.Merge(&nr.Series)
-		rep.DegreeDist.Merge(&nr.DegreeDist)
 	}
 	return rep, nil
 }
@@ -780,8 +1096,13 @@ type FleetReport struct {
 	// time.
 	Live, Edges int
 	// Preserved counts members whose snapshot preserves the ground-truth
-	// partition (Theorem 2.1's guarantee).
+	// partition (Theorem 2.1's guarantee). Quarantined members are never
+	// counted.
 	Preserved int
+	// Quarantined counts members under quarantine at report time. Their
+	// live-state fields are excluded from Live, Edges, Preserved and
+	// DegreeDist; their completed history stays in Events and Series.
+	Quarantined int
 	// Series merges every member's per-tick TickStats series: one
 	// observation per member per completed tick.
 	Series TickSeries
@@ -837,6 +1158,13 @@ type FleetNetworkReport struct {
 	// DegreeDist is the member's live-node degree distribution at report
 	// time.
 	DegreeDist stats.IntHist
+	// Health is the member's failure-domain state. When it is
+	// MemberQuarantined the live-state fields (Final, Preserved, Stats,
+	// DegreeDist) are zero — the session is not readable — and Quarantine
+	// holds the record.
+	Health MemberHealth
+	// Quarantine is the member's quarantine record, nil while healthy.
+	Quarantine *QuarantineRecord
 	// Sched is the member's scheduling telemetry (wall clock — not
 	// deterministic).
 	Sched MemberSchedStats

@@ -1,0 +1,428 @@
+package cbtc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cbtc/internal/chaos"
+	"cbtc/internal/workload"
+)
+
+// chaosMembers builds m homogeneous oracle members of n nodes each.
+func chaosMembers(seed uint64, m, n int) []MemberSpec {
+	members := make([]MemberSpec, m)
+	sz := workload.MemberSize{N: n, Side: workload.LargeNSide(n)}
+	for i := range members {
+		members[i] = MemberSpec{Placement: workload.MemberPlacement(seed, i, sz)}
+	}
+	return members
+}
+
+// firstPanicTick predicts the tick at which inj first panics member
+// net within the first ticks ticks, or -1.
+func firstPanicTick(inj *chaos.Injector, net, ticks int) int {
+	for t := 0; t < ticks; t++ {
+		if inj.PanicsAt(net, t) {
+			return t
+		}
+	}
+	return -1
+}
+
+// findChaosSeed searches injector seeds deterministically until the
+// panic probability quarantines exactly want of m members within ticks
+// ticks, none of them at tick 0 (mid-fleet casualties, not stillbirths).
+func findChaosSeed(t *testing.T, m, ticks, want int) *chaos.Injector {
+	t.Helper()
+	for seed := uint64(1); seed < 5000; seed++ {
+		inj := chaos.New(chaos.Faults{Seed: seed, TickPanic: 0.04})
+		hit := 0
+		midFleet := true
+		for net := 0; net < m; net++ {
+			switch ft := firstPanicTick(inj, net, ticks); {
+			case ft == 0:
+				midFleet = false
+			case ft > 0:
+				hit++
+			}
+		}
+		if hit == want && midFleet {
+			return inj
+		}
+	}
+	t.Fatal("no chaos seed quarantines the wanted casualty count")
+	return nil
+}
+
+// The PR 8 acceptance invariant: a seeded chaos run that panics 2 of 9
+// members mid-fleet leaves the 7 healthy members byte-identical — report
+// slice and topology — to a chaos-free run of the same seeds, at
+// workers 1, 2 and 8. The casualty set itself is deterministic: the
+// same two members fall, at the same ticks, at every worker count.
+func TestFleetChaosQuarantineIsolation(t *testing.T) {
+	const m, rounds = 9, 6
+	members := chaosMembers(11, m, 30)
+	sc := workload.Fleet(m, 30, "uniform")
+	tick := fleetTick(sc)
+	ctx := context.Background()
+	inj := findChaosSeed(t, m, rounds, 2)
+
+	wantQuar := map[int]int{} // net -> frozen clock (= first panicking tick)
+	for net := 0; net < m; net++ {
+		if ft := firstPanicTick(inj, net, rounds); ft >= 0 {
+			wantQuar[net] = ft
+		}
+	}
+
+	// The chaos-free reference.
+	ref, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Members: members, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRep, err := ref.Run(ctx, rounds, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSched(refRep)
+	refGraphs := make([]*Graph, m)
+	for i := range refGraphs {
+		snap, err := ref.Session(i).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refGraphs[i] = snap.G
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{
+			Members: members, Seed: 5, Workers: workers, TickHook: inj.Tick,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, runErr := fleet.Run(ctx, rounds, tick)
+		var qe *QuarantineError
+		if !errors.As(runErr, &qe) {
+			t.Fatalf("workers=%d: Run error = %v, want *QuarantineError", workers, runErr)
+		}
+		if rep == nil {
+			t.Fatalf("workers=%d: Run returned no report alongside the QuarantineError", workers)
+		}
+		zeroSched(rep)
+		if len(qe.Casualties) != len(wantQuar) {
+			t.Fatalf("workers=%d: %d casualties, want %d: %v", workers, len(qe.Casualties), len(wantQuar), qe)
+		}
+		for _, c := range qe.Casualties {
+			if wantTick, ok := wantQuar[c.Net]; !ok || c.Tick != wantTick {
+				t.Errorf("workers=%d: casualty %+v, want quarantine map %v", workers, c, wantQuar)
+			}
+			if !strings.Contains(c.Err, "chaos: injected panic") || !strings.Contains(c.Stack, "chaos") {
+				t.Errorf("workers=%d: casualty record lacks cause/stack: err=%q", workers, c.Err)
+			}
+		}
+		if rep.Quarantined != len(wantQuar) {
+			t.Errorf("workers=%d: report counts %d quarantined, want %d", workers, rep.Quarantined, len(wantQuar))
+		}
+
+		health := fleet.Health()
+		if health.Quarantined != len(wantQuar) || health.Healthy != m-len(wantQuar) {
+			t.Errorf("workers=%d: health %d/%d, want %d/%d", workers,
+				health.Healthy, health.Quarantined, m-len(wantQuar), len(wantQuar))
+		}
+		for i, nr := range rep.PerNetwork {
+			frozenAt, quarantined := wantQuar[i]
+			if quarantined {
+				if nr.Health != MemberQuarantined || nr.Quarantine == nil {
+					t.Errorf("workers=%d net %d: not reported quarantined", workers, i)
+					continue
+				}
+				if nr.Ticks != frozenAt {
+					t.Errorf("workers=%d net %d: clock %d, want frozen at %d", workers, i, nr.Ticks, frozenAt)
+				}
+				if got := nr.Series.Degree.N(); got != int64(frozenAt) {
+					t.Errorf("workers=%d net %d: %d series observations, want %d", workers, i, got, frozenAt)
+				}
+				continue
+			}
+			// Healthy members: byte-identical report slice and topology.
+			if !reflect.DeepEqual(nr, refRep.PerNetwork[i]) {
+				t.Errorf("workers=%d net %d: healthy report slice differs from chaos-free run", workers, i)
+			}
+			snap, err := fleet.Session(i).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !snap.G.Equal(refGraphs[i]) {
+				t.Errorf("workers=%d net %d: healthy topology differs from chaos-free run", workers, i)
+			}
+		}
+
+		// A further advance skips the casualties entirely — no new error,
+		// frozen clocks — while the healthy members keep working.
+		if err := fleet.Advance(ctx, 1, tick); err != nil {
+			t.Fatalf("workers=%d: post-quarantine Advance: %v", workers, err)
+		}
+		for _, c := range fleet.Watermarks().Members {
+			if want, ok := wantQuar[c.Net]; ok {
+				if c.Health != MemberQuarantined || c.Ticks != want {
+					t.Errorf("workers=%d net %d: clock moved under quarantine: %+v", workers, c.Net, c)
+				}
+			} else if c.Ticks != rounds+1 || c.Health != MemberHealthy {
+				t.Errorf("workers=%d net %d: healthy member at %d/%s, want %d/healthy",
+					workers, c.Net, c.Ticks, c.Health, rounds+1)
+			}
+		}
+	}
+}
+
+// A quarantined member re-admitted from a checkpoint re-converges onto
+// the byte-identical history its seed prescribes: session, RNG stream
+// and accumulators resume from the checkpoint, and driving it to any
+// clock matches the never-quarantined reference at that clock.
+func TestFleetReadmit(t *testing.T) {
+	const m = 4
+	members := chaosMembers(3, m, 35)
+	sc := workload.Fleet(m, 35, "uniform")
+	tick := fleetTick(sc)
+	ctx := context.Background()
+
+	ref, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Members: members, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRep, err := ref.Run(ctx, 7, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSched(refRep)
+
+	fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Members: members, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Advance(ctx, 3, tick); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := fleet.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Panic member 1 at its tick 4 (one tick past the checkpoint).
+	fleet.SetTickHook(func(net, tick int) {
+		if net == 1 && tick == 4 {
+			panic("induced fault")
+		}
+	})
+	err = fleet.Advance(ctx, 2, tick)
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || len(qe.Casualties) != 1 || qe.Casualties[0].Net != 1 || qe.Casualties[0].Tick != 4 {
+		t.Fatalf("Advance error = %v, want quarantine of net 1 at tick 4", err)
+	}
+
+	// While quarantined: checkpoints refuse, batches refuse, watermark is
+	// frozen.
+	if err := fleet.Checkpoint(&bytes.Buffer{}); !errors.As(err, &qe) {
+		t.Fatalf("Checkpoint under quarantine = %v, want *QuarantineError", err)
+	}
+	batches := make([][]Event, m)
+	batches[1] = []Event{}
+	if err := fleet.TickEvents(ctx, batches); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("TickEvents to quarantined member = %v, want ErrBadEvent", err)
+	}
+
+	// Readmitting a healthy member is refused; a session checkpoint is
+	// the wrong kind; then the real readmission.
+	if err := fleet.Readmit(0, bytes.NewReader(ckpt.Bytes())); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Readmit of healthy member = %v, want ErrBadConfig", err)
+	}
+	var sessCkpt bytes.Buffer
+	if err := fleet.Session(0).Checkpoint(&sessCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Readmit(1, &sessCkpt); !errors.Is(err, ErrCheckpointKind) {
+		t.Fatalf("Readmit from session checkpoint = %v, want ErrCheckpointKind", err)
+	}
+	fleet.SetTickHook(nil)
+	if err := fleet.Readmit(1, bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if h := fleet.Health(); h.Quarantined != 0 || h.Healthy != m {
+		t.Fatalf("post-readmit health %+v", h)
+	}
+	wm := fleet.Watermarks()
+	if c := wm.Members[1]; c.Ticks != 3 || c.Target != 3 || c.Health != MemberHealthy {
+		t.Fatalf("readmitted clock %+v, want 3/3 healthy", c)
+	}
+
+	// Drive member 1 from its restored clock 3 to 7: its slice of the
+	// report must match the uninterrupted reference exactly.
+	if err := fleet.Advance(ctx, 4, tick); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSched(rep)
+	if got, want := rep.PerNetwork[1], refRep.PerNetwork[1]; !reflect.DeepEqual(got, want) {
+		t.Errorf("readmitted member report differs from reference:\ngot  %+v\nwant %+v", got, want)
+	}
+	snap, err := fleet.Session(1).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSnap, err := ref.Session(1).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.G.Equal(refSnap.G) || !snap.GR.Equal(refSnap.GR) {
+		t.Error("readmitted member topology differs from reference")
+	}
+}
+
+// TickEvents quarantines a panicking member without losing the other
+// members' batches, and refuses further traffic to the casualty.
+func TestFleetTickEventsQuarantine(t *testing.T) {
+	const m = 3
+	members := chaosMembers(7, m, 30)
+	ctx := context.Background()
+	fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Members: members, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.SetTickHook(func(net, tick int) {
+		if net == 1 {
+			panic("boom")
+		}
+	})
+	batches := [][]Event{
+		{JoinEvent(Pt(10, 10))},
+		{JoinEvent(Pt(20, 20))},
+		{JoinEvent(Pt(30, 30))},
+	}
+	err = fleet.TickEvents(ctx, batches)
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || len(qe.Casualties) != 1 || qe.Casualties[0].Net != 1 {
+		t.Fatalf("TickEvents error = %v, want quarantine of net 1", err)
+	}
+	wm := fleet.Watermarks()
+	for i, c := range wm.Members {
+		switch i {
+		case 1:
+			if c.Ticks != 0 || c.Target != 1 || c.Health != MemberQuarantined {
+				t.Errorf("casualty clock %+v", c)
+			}
+		default:
+			if c.Ticks != 1 || c.Health != MemberHealthy {
+				t.Errorf("healthy member %d clock %+v", i, c)
+			}
+		}
+	}
+	// The healthy members' joins committed; the casualty's did not.
+	if n := fleet.Session(0).Len(); n != 31 {
+		t.Errorf("net 0 has %d nodes, want 31", n)
+	}
+	rep, err := fleet.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 || rep.PerNetwork[1].Quarantine == nil {
+		t.Errorf("report quarantine surface: %d, %+v", rep.Quarantined, rep.PerNetwork[1].Quarantine)
+	}
+	// nil slot for the casualty skips it; non-nil is refused.
+	fleet.SetTickHook(nil)
+	ok := [][]Event{{MoveEvent(0, Pt(5, 5))}, nil, {}}
+	if err := fleet.TickEvents(ctx, ok); err != nil {
+		t.Fatalf("TickEvents skipping the casualty: %v", err)
+	}
+	bad := [][]Event{nil, {}, nil}
+	if err := fleet.TickEvents(ctx, bad); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("TickEvents to casualty = %v, want ErrBadEvent", err)
+	}
+}
+
+// A panic inside the session repair itself — not just the hook — is
+// quarantined the same way: the member freezes, the fleet survives.
+func TestFleetTickFuncPanicQuarantined(t *testing.T) {
+	members := chaosMembers(5, 2, 25)
+	ctx := context.Background()
+	fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Members: members, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := workload.Fleet(2, 25, "uniform")
+	drift := fleetTick(sc)
+	_, err = fleet.Run(ctx, 3, func(net, tick int, rng *rand.Rand, s *Session) []Event {
+		if net == 0 && tick == 1 {
+			p := make([]Point, 2)
+			_ = p[len(p)+1] // index out of range: a genuine runtime panic
+		}
+		return drift(net, tick, rng, s)
+	})
+	var qe *QuarantineError
+	if !errors.As(err, &qe) {
+		t.Fatalf("Run error = %v, want *QuarantineError", err)
+	}
+	if len(qe.Casualties) != 1 || qe.Casualties[0].Net != 0 || qe.Casualties[0].Tick != 1 {
+		t.Fatalf("casualties = %+v", qe.Casualties)
+	}
+	if !strings.Contains(qe.Casualties[0].Err, "index out of range") {
+		t.Errorf("casualty cause %q", qe.Casualties[0].Err)
+	}
+	if wm := fleet.Watermarks(); wm.Members[1].Ticks != 3 || wm.Members[0].Ticks != 1 {
+		t.Errorf("watermarks %+v", wm.Members)
+	}
+}
+
+// Seeded chaos soak for the -race matrix: panics and delays injected
+// across a larger fleet, with every healthy member still byte-identical
+// to the chaos-free reference.
+func TestFleetChaosSoak(t *testing.T) {
+	const m, rounds = 8, 8
+	members := chaosMembers(21, m, 25)
+	sc := workload.Fleet(m, 25, "uniform")
+	tick := fleetTick(sc)
+	ctx := context.Background()
+	inj := chaos.New(chaos.Faults{Seed: 77, TickPanic: 0.02, TickDelay: 0.2, Delay: 200 * time.Microsecond})
+
+	ref, err := fleetEngine(t).NewFleet(ctx, FleetConfig{Members: members, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRep, err := ref.Run(ctx, rounds, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSched(refRep)
+
+	fleet, err := fleetEngine(t).NewFleet(ctx, FleetConfig{
+		Members: members, Seed: 6, Workers: 4, TickHook: inj.Tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, runErr := fleet.Run(ctx, rounds, tick)
+	var qe *QuarantineError
+	if runErr != nil && !errors.As(runErr, &qe) {
+		t.Fatal(runErr)
+	}
+	zeroSched(rep)
+	for i, nr := range rep.PerNetwork {
+		if ft := firstPanicTick(inj, i, rounds); ft >= 0 {
+			if nr.Health != MemberQuarantined || nr.Ticks != ft {
+				t.Errorf("net %d: health %s clock %d, want quarantined at %d", i, nr.Health, nr.Ticks, ft)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(nr, refRep.PerNetwork[i]) {
+			t.Errorf("net %d: healthy member differs from chaos-free reference under soak", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Decisions are pure functions of (seed, site): the same injector asked
+// in any order — or a second injector with the same spec — agrees at
+// every site. This is the property the fleet's worker-count-invariance
+// chaos tests lean on.
+func TestDeterministicDecisions(t *testing.T) {
+	f := Faults{Seed: 42, TickPanic: 0.1, TickDelay: 0.2, Delay: time.Millisecond, CheckpointFail: 0.3, Corrupt: 0.5}
+	a, b := New(f), New(f)
+	for net := 0; net < 16; net++ {
+		for tick := 0; tick < 64; tick++ {
+			if a.PanicsAt(net, tick) != b.PanicsAt(net, tick) {
+				t.Fatalf("panic decision at (%d,%d) not deterministic", net, tick)
+			}
+			if a.DelayAt(net, tick) != b.DelayAt(net, tick) {
+				t.Fatalf("delay decision at (%d,%d) not deterministic", net, tick)
+			}
+		}
+	}
+	// Reverse iteration order must not change anything: no hidden
+	// sequential state.
+	for net := 15; net >= 0; net-- {
+		for tick := 63; tick >= 0; tick-- {
+			if a.PanicsAt(net, tick) != b.PanicsAt(net, tick) {
+				t.Fatalf("panic decision at (%d,%d) order-dependent", net, tick)
+			}
+		}
+	}
+	for seq := uint64(0); seq < 64; seq++ {
+		if a.FailCheckpoint(seq) != b.FailCheckpoint(seq) {
+			t.Fatalf("checkpoint decision at %d not deterministic", seq)
+		}
+	}
+}
+
+// Distinct seeds and distinct fault domains draw independent decisions:
+// the empirical rates track the configured probabilities.
+func TestRatesTrackProbabilities(t *testing.T) {
+	const sites = 20000
+	for _, p := range []float64{0.05, 0.25, 0.75} {
+		in := New(Faults{Seed: 9, TickPanic: p})
+		hits := 0
+		for i := 0; i < sites; i++ {
+			if in.PanicsAt(i%97, i/97) {
+				hits++
+			}
+		}
+		got := float64(hits) / sites
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("panic rate %v for p=%v", got, p)
+		}
+	}
+	// Zero-probability injector is a strict no-op.
+	none := New(Faults{Seed: 9})
+	for i := 0; i < 1000; i++ {
+		if none.PanicsAt(i, i) || none.DelayAt(i, i) != 0 || none.FailCheckpoint(uint64(i)) {
+			t.Fatal("zero faults injected something")
+		}
+		if _, ok := none.CorruptAt(uint64(i), 100); ok {
+			t.Fatal("zero faults corrupted something")
+		}
+	}
+}
+
+// Tick panics carry the site so quarantine records identify injected
+// faults, and delays stay within the configured bound.
+func TestTickFaultShapes(t *testing.T) {
+	in := New(Faults{Seed: 3, TickPanic: 1, TickDelay: 1, Delay: 100 * time.Microsecond})
+	func() {
+		defer func() {
+			p, ok := recover().(Panic)
+			if !ok || p.Net != 4 || p.Tick != 7 {
+				t.Errorf("recovered %#v, want Panic{4,7}", p)
+			}
+		}()
+		in.Tick(4, 7)
+	}()
+	for net := 0; net < 8; net++ {
+		for tick := 0; tick < 32; tick++ {
+			if d := in.DelayAt(net, tick); d <= 0 || d > 100*time.Microsecond {
+				t.Fatalf("delay %v at (%d,%d) outside (0, 100µs]", d, net, tick)
+			}
+		}
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	in := New(Faults{Seed: 5, Corrupt: 1})
+	data := make([]byte, 64)
+	i, ok := in.Corrupt(11, data)
+	if !ok || data[i] != 0xFF {
+		t.Fatalf("Corrupt: flipped=%v index=%d byte=%x", ok, i, data[i])
+	}
+	clean := make([]byte, 64)
+	j := FlipByte(5, clean)
+	if clean[j] != 0xFF {
+		t.Fatalf("FlipByte left byte %d at %x", j, clean[j])
+	}
+	// Same seed, same buffer length → same index.
+	again := make([]byte, 64)
+	if k := FlipByte(5, again); k != j {
+		t.Fatalf("FlipByte index not deterministic: %d vs %d", k, j)
+	}
+}
+
+func TestParse(t *testing.T) {
+	f, err := Parse("seed=7,panic=0.02,delay=0.1,delaymax=5ms,ckpt=0.3,corrupt=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Faults{Seed: 7, TickPanic: 0.02, TickDelay: 0.1, Delay: 5 * time.Millisecond, CheckpointFail: 0.3, Corrupt: 0.25}
+	if f != want {
+		t.Fatalf("Parse = %+v, want %+v", f, want)
+	}
+	if f, err := Parse(""); err != nil || f != (Faults{}) {
+		t.Fatalf("empty spec: %+v, %v", f, err)
+	}
+	for _, bad := range []string{"panic", "panic=2", "panic=-0.1", "wat=1", "delaymax=fast", "seed=x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
