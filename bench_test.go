@@ -879,3 +879,61 @@ func BenchmarkCheckpoint(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkObserve is the PR 9 tentpole gate: per-tick metric reads off
+// the session's maintained aggregates (live count, edge count, dynamic
+// connectivity, cached radii) against the reference full scan — a
+// component BFS plus a fresh per-node radius fold. Both run on the same
+// dirtied incremental session, and TestSessionObserveLockstep proves
+// they return bitwise-identical TickStats; BENCH_PR9.json pins the
+// maintained path's ≥5× lead at n = 10000.
+func BenchmarkObserve(b *testing.B) {
+	ctx := context.Background()
+	for _, sc := range workload.LargeN() {
+		if sc.Kind != "uniform" {
+			continue
+		}
+		sc := sc
+		pos := sc.Placement(7)
+		eng, err := New(WithMaxRadius(sc.Radius), WithShrinkBack())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := eng.NewSession(ctx, pos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Dirty the session so the maintained state is mid-run, not
+		// construction-fresh.
+		rng := workload.Rand(3)
+		for k := 0; k < 32; k++ {
+			id := rng.IntN(len(pos))
+			if !sess.Alive(id) {
+				continue
+			}
+			to := geom.Pt(rng.Float64()*sc.Side, rng.Float64()*sc.Side)
+			if _, err := sess.Move(id, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(sc.Name+"/incremental", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Observe(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sc.Name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess.mu.Lock()
+				ts := observeGraph(sess.g, sess.alive, sess.pos, sess.nodes)
+				sess.mu.Unlock()
+				if ts.Live == 0 {
+					b.Fatal("empty observe")
+				}
+			}
+		})
+	}
+}

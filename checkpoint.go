@@ -8,6 +8,7 @@ import (
 
 	"cbtc/internal/codec"
 	"cbtc/internal/core"
+	"cbtc/internal/graph"
 	"cbtc/internal/spatial"
 )
 
@@ -164,6 +165,7 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 			s.idx.Remove(id)
 			continue
 		}
+		s.live++
 		s.recs[id] = core.NewReconfigurator(e.cfg.Alpha, e.model, st.Nodes[id].Neighbors)
 	}
 	if st.Incremental {
@@ -171,6 +173,18 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 		s.nalpha = st.Nalpha
 		s.g = st.G
 		s.gr = st.GR
+		// The O(changed) Observe state is derived, not serialized: the
+		// component structure and the radius cache are pure functions of
+		// the (exactly restored) graph and positions, so re-deriving them
+		// keeps the checkpoint format stable and the restored Observe
+		// byte-identical to the pre-checkpoint one.
+		s.comps = graph.NewLiveComponents(s.g, s.alive)
+		s.radius = make([]float64, n)
+		for id, alive := range s.alive {
+			if alive {
+				s.radius[id] = graph.NodeRadius(s.g, s.pos, id)
+			}
+		}
 	}
 	return s, nil
 }

@@ -739,10 +739,21 @@ func (d *daemon) routes() http.Handler {
 			status = http.StatusServiceUnavailable
 			state = "degraded"
 		}
+		// Connectivity comes from the sessions' maintained component
+		// structures — O(changed) per member, cheap enough for every
+		// probe. A fleet of healthy connected networks reports
+		// components == networks - quarantined.
+		obs, obsErr := d.fleet.Observe()
+		components, live := -1, -1
+		if obsErr == nil {
+			components, live = obs.Components, obs.Live
+		}
 		writeJSON(w, status, map[string]any{
 			"status":                 state,
 			"networks":               d.fleet.Size(),
 			"quarantined":            health.Quarantined,
+			"components":             components,
+			"live":                   live,
 			"ticks":                  d.ticks.Load(),
 			"ticks_min":              wm.Ticks.Min,
 			"ticks_max":              wm.Ticks.Max,

@@ -7,7 +7,7 @@
 //
 //	fleetsim [-m 16] [-n 250] [-kind uniform|clustered] [-ticks 20]
 //	         [-workers 0] [-seed 7] [-moves n/16] [-jitter R/8]
-//	         [-churn 0.25] [-protocol 0] [-chaos spec] [-v]
+//	         [-churn 0.25] [-protocol 0] [-chaos spec] [-slo connected] [-v]
 //
 // Every network runs its own deterministic RNG stream: each member's
 // results are reproducible from the flags alone, at any worker count.
@@ -24,6 +24,15 @@
 // panicking member is quarantined — clock frozen, panic recorded — and
 // reported in a casualty table while the healthy members' results stay
 // identical to a chaos-free run.
+//
+// -slo connected turns every tick into a connectivity gate: an
+// ObserveHook watches each member's per-tick component count — an
+// O(changed) read off the session's maintained structure, so the gate
+// costs the run essentially nothing — and records the first tick a
+// member partitioned. Any violation makes fleetsim print a violation
+// table (member, first partitioned tick) and exit nonzero; the
+// lifetime-to-first-partition number is the energy-balance literature's
+// headline metric.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"cbtc"
@@ -53,12 +63,16 @@ func main() {
 		churn     = flag.Float64("churn", 0.25, "per-tick join and leave probability")
 		protocol  = flag.Int("protocol", 0, "build the first k members with the distributed protocol")
 		chaosSpec = flag.String("chaos", "", "deterministic fault injection spec (seed=,panic=,delay=,delaymax=)")
+		slo       = flag.String("slo", "", "per-tick SLO gate: 'connected' exits nonzero if any network ever partitions")
 		verbose   = flag.Bool("v", false, "print the per-network table")
 	)
 	flag.Parse()
 	faults, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		fail(err)
+	}
+	if *slo != "" && *slo != "connected" {
+		fail(fmt.Errorf("unknown -slo gate %q (supported: connected)", *slo))
 	}
 
 	sc := workload.Fleet(*m, *n, *kind)
@@ -85,6 +99,22 @@ func main() {
 	cfg := cbtc.FleetConfig{Members: members, Seed: *seed}
 	if *chaosSpec != "" {
 		cfg.TickHook = chaos.New(faults).Tick
+	}
+	// The connectivity SLO watches every member tick through the
+	// ObserveHook: per-member calls arrive in tick order, so the CAS
+	// keeps exactly the first partitioned tick; members never share a
+	// slot, so concurrent callbacks from different workers are safe.
+	var firstPartition []atomic.Int64
+	if *slo == "connected" {
+		firstPartition = make([]atomic.Int64, sc.M)
+		for i := range firstPartition {
+			firstPartition[i].Store(-1)
+		}
+		cfg.ObserveHook = func(net, tick int, ts cbtc.TickStats) {
+			if ts.Components > 1 {
+				firstPartition[net].CompareAndSwap(-1, int64(tick))
+			}
+		}
 	}
 	ctx := context.Background()
 	buildStart := time.Now()
@@ -135,11 +165,11 @@ func main() {
 
 	if *verbose {
 		fmt.Println()
-		nt := stats.NewTable("net", "kind", "ticks", "events", "live", "edges", "comps", "degree", "radius", "energy", "tick µs", "preserved")
+		nt := stats.NewTable("net", "kind", "ticks", "events", "live", "edges", "comps", "degree", "radius", "max r", "energy", "tick µs", "preserved")
 		for _, nr := range rep.PerNetwork {
 			nt.AddRow(fmt.Sprint(nr.Net), nr.Kind.String(), fmt.Sprint(nr.Ticks), fmt.Sprint(nr.Events),
 				fmt.Sprint(nr.Final.Live), fmt.Sprint(nr.Final.Edges), fmt.Sprint(nr.Final.Components),
-				stats.F(nr.Final.AvgDegree, 2), stats.F(nr.Final.AvgRadius, 1),
+				stats.F(nr.Final.AvgDegree, 2), stats.F(nr.Final.AvgRadius, 1), stats.F(maxRadius(fleet, &nr), 1),
 				stats.F(nr.Final.Energy, 0), stats.F(float64(nr.Sched.TickNs)/1e3, 0), fmt.Sprint(nr.Preserved))
 		}
 		fmt.Print(nt.String())
@@ -160,6 +190,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fleetsim: SOME NETWORKS LOST THE GROUND-TRUTH PARTITION")
 		os.Exit(1)
 	}
+	if firstPartition != nil {
+		violated := false
+		vt := stats.NewTable("net", "first partitioned tick")
+		for i := range firstPartition {
+			if t := firstPartition[i].Load(); t >= 0 {
+				violated = true
+				vt.AddRow(fmt.Sprint(i), fmt.Sprint(t))
+			}
+		}
+		if violated {
+			fmt.Fprintln(os.Stderr, "\nfleetsim: SLO 'connected' VIOLATED:")
+			fmt.Fprint(os.Stderr, vt.String())
+			os.Exit(1)
+		}
+		fmt.Println("\nSLO 'connected' held: every network stayed connected at every tick")
+	}
+}
+
+// maxRadius scans one member's live nodes through the session's cached
+// per-node radii — Session.NodeRadius is an O(1) read on incremental
+// stacks, so the whole column costs one pass over the id space.
+func maxRadius(fleet *cbtc.Fleet, nr *cbtc.FleetNetworkReport) float64 {
+	if nr.Health != cbtc.MemberHealthy {
+		return 0
+	}
+	sess := fleet.Session(nr.Net)
+	var r float64
+	for id := 0; id < sess.Len(); id++ {
+		if !sess.Alive(id) {
+			continue
+		}
+		nr, err := sess.NodeRadius(id)
+		if err != nil {
+			return 0
+		}
+		if nr > r {
+			r = nr
+		}
+	}
+	return r
 }
 
 func fail(err error) {

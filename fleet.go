@@ -113,6 +113,19 @@ func (e *QuarantineError) Error() string {
 // never from wall clock or shared mutable state.
 type TickHook func(net, tick int)
 
+// ObserveHook is an observation hook invoked immediately after every
+// completed member tick, on the scheduler worker driving the member,
+// with the member index, the tick number that just ran, and the
+// TickStats the tick observed. Since Observe is O(changed), a per-tick
+// hook costs the fleet essentially nothing — it is how drivers watch
+// per-tick SLO-style conditions (cmd/fleetsim's -slo connected gate
+// records the first tick a member partitions) without polling sessions.
+// Calls for one member arrive in tick order; calls for different
+// members arrive concurrently from different workers, so a hook must
+// either use per-member state or synchronize. Like TickHook, a panic
+// inside the hook quarantines the member.
+type ObserveHook func(net, tick int, ts TickStats)
+
 // MemberSpec describes one fleet member: its initial placement, how it
 // is built, the engine options it overrides, and its tick budget. The
 // zero value of everything but Placement gives the PR 5 behavior — an
@@ -167,6 +180,10 @@ type FleetConfig struct {
 	// TickHook, when non-nil, is invoked before every member tick — the
 	// fault-injection/instrumentation point. See TickHook.
 	TickHook TickHook
+	// ObserveHook, when non-nil, is invoked after every member tick with
+	// the tick's observed stats — the per-tick SLO/telemetry point. See
+	// ObserveHook.
+	ObserveHook ObserveHook
 }
 
 // members resolves the Members/Placements surfaces into one spec list.
@@ -306,9 +323,10 @@ type Fleet struct {
 	eng     *Engine
 	workers int
 
-	mu   sync.Mutex
-	nets []*fleetNetwork
-	hook TickHook
+	mu      sync.Mutex
+	nets    []*fleetNetwork
+	hook    TickHook
+	obsHook ObserveHook
 }
 
 // fleetNetwork is one member slot. Mutable state is touched only by the
@@ -431,7 +449,7 @@ func (n *fleetNetwork) quantum() int {
 // the member is quarantined with its clock frozen just below the
 // panicking tick, and errMemberQuarantined tells the scheduler to drop
 // the member without poisoning the rest of the fleet.
-func (n *fleetNetwork) tickOnce(fn TickFunc, hook TickHook) (err error) {
+func (n *fleetNetwork) tickOnce(fn TickFunc, hook TickHook, obs ObserveHook) (err error) {
 	start := time.Now()
 	tick := int(n.done.Load())
 	defer func() {
@@ -450,6 +468,9 @@ func (n *fleetNetwork) tickOnce(fn TickFunc, hook TickHook) (err error) {
 	}
 	n.events += int64(len(events))
 	n.series.Observe(ts)
+	if obs != nil {
+		obs(n.net, tick, ts)
+	}
 	n.done.Add(1)
 	cost := time.Since(start).Nanoseconds()
 	if n.sched.ewmaNs == 0 {
@@ -464,7 +485,7 @@ func (n *fleetNetwork) tickOnce(fn TickFunc, hook TickHook) (err error) {
 // ticks, aborted early at a tick boundary once the time budget is
 // exceeded. It reports whether the member still has ticks outstanding
 // (and must requeue).
-func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc, hook TickHook) (again bool, err error) {
+func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc, hook TickHook, obs ObserveHook) (again bool, err error) {
 	n.sched.leases++
 	quantum := n.quantum()
 	start := time.Now()
@@ -473,7 +494,7 @@ func (n *fleetNetwork) lease(ctx context.Context, fn TickFunc, hook TickHook) (a
 			n.sched.busyNs += time.Since(start).Nanoseconds()
 			return false, err
 		}
-		if err := n.tickOnce(fn, hook); err != nil {
+		if err := n.tickOnce(fn, hook, obs); err != nil {
 			n.sched.busyNs += time.Since(start).Nanoseconds()
 			return false, err
 		}
@@ -514,7 +535,7 @@ func (e *Engine) NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) 
 			return nil, fmt.Errorf("member %d options: %w", i, err)
 		}
 	}
-	f := &Fleet{eng: e, workers: workers, nets: make([]*fleetNetwork, m), hook: cfg.TickHook}
+	f := &Fleet{eng: e, workers: workers, nets: make([]*fleetNetwork, m), hook: cfg.TickHook, obsHook: cfg.ObserveHook}
 	plan := planShards(workers, m)
 	err = plan.run(ctx, m, func(ctx context.Context, i int) error {
 		spec := specs[i]
@@ -711,7 +732,7 @@ func (f *Fleet) advanceLocked(ctx context.Context, fn TickFunc) error {
 				case <-drained:
 					return
 				case net := <-ready:
-					again, err := net.lease(ctx, fn, f.hook)
+					again, err := net.lease(ctx, fn, f.hook, f.obsHook)
 					if err == errMemberQuarantined {
 						// The member is out, but the fleet is not: account it
 						// as finished so the healthy members keep draining.
@@ -850,7 +871,7 @@ func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 	err := plan.run(context.Background(), len(ticked), func(_ context.Context, k int) error {
 		i := ticked[k]
 		net := f.nets[i]
-		if err := net.tickEvents(f.hook, events[i]); err != nil {
+		if err := net.tickEvents(f.hook, f.obsHook, events[i]); err != nil {
 			if err == errMemberQuarantined {
 				casMu.Lock()
 				casualties = append(casualties, net)
@@ -869,7 +890,7 @@ func (f *Fleet) TickEvents(ctx context.Context, events [][]Event) error {
 
 // tickEvents applies one externally-supplied batch as the member's next
 // tick, with the same panic-quarantine envelope as tickOnce.
-func (n *fleetNetwork) tickEvents(hook TickHook, events []Event) (err error) {
+func (n *fleetNetwork) tickEvents(hook TickHook, obs ObserveHook, events []Event) (err error) {
 	tick := int(n.done.Load())
 	defer func() {
 		if r := recover(); r != nil {
@@ -886,6 +907,9 @@ func (n *fleetNetwork) tickEvents(hook TickHook, events []Event) (err error) {
 	}
 	n.events += int64(len(events))
 	n.series.Observe(ts)
+	if obs != nil {
+		obs(n.net, tick, ts)
+	}
 	n.done.Add(1)
 	return nil
 }
@@ -938,6 +962,51 @@ func (f *Fleet) SetTickHook(h TickHook) {
 	f.mu.Lock()
 	f.hook = h
 	f.mu.Unlock()
+}
+
+// SetObserveHook installs (or, with nil, removes) the fleet's
+// ObserveHook — the same hook FleetConfig.ObserveHook sets at
+// construction, exposed as a setter so restored fleets can be
+// instrumented too. It must not be called while a Run, Advance or
+// TickEvents is in flight.
+func (f *Fleet) SetObserveHook(h ObserveHook) {
+	f.mu.Lock()
+	f.obsHook = h
+	f.mu.Unlock()
+}
+
+// Observe sums every healthy member's current TickStats into one
+// fleet-wide aggregate: Live, Edges, Components and Energy add across
+// members (a fleet of m connected networks reports m components), and
+// the degree/radius averages are live-node-weighted means. Each
+// member's read is the session's O(changed) Observe, so the whole call
+// is cheap enough for liveness surfaces — cmd/fleetd's /healthz reports
+// the component total through it on every probe. Quarantined members
+// are skipped: their sessions are unreadable until readmitted.
+func (f *Fleet) Observe() (TickStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var agg TickStats
+	var radiusSum float64
+	for _, net := range f.nets {
+		if net.quarantined() {
+			continue
+		}
+		ts, err := net.sess.Observe()
+		if err != nil {
+			return TickStats{}, fmt.Errorf("network %d: %w", net.net, err)
+		}
+		agg.Live += ts.Live
+		agg.Edges += ts.Edges
+		agg.Components += ts.Components
+		agg.Energy += ts.Energy
+		radiusSum += ts.AvgRadius * float64(ts.Live)
+	}
+	if agg.Live > 0 {
+		agg.AvgDegree = 2 * float64(agg.Edges) / float64(agg.Live)
+		agg.AvgRadius = radiusSum / float64(agg.Live)
+	}
+	return agg, nil
 }
 
 // Report aggregates the fleet's current state into a FleetReport

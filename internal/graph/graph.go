@@ -146,32 +146,40 @@ func (g *Graph) remove(u int, v int32) bool {
 	return true
 }
 
-// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
-// It panics on out-of-range indices: edges come from trusted internal
-// computations and an out-of-range index is a programming error.
-func (g *Graph) AddEdge(u, v int) {
+// AddEdge inserts the undirected edge {u, v}, reporting whether the
+// edge was absent (so incremental consumers like LiveComponents can
+// record the exact diff a mutation pass produced). Self-loops are
+// ignored. It panics on out-of-range indices: edges come from trusted
+// internal computations and an out-of-range index is a programming
+// error.
+func (g *Graph) AddEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
 	if u == v {
-		return
+		return false
 	}
 	if g.insert(u, int32(v)) {
 		g.insert(v, int32(u))
 		g.edges++
+		return true
 	}
+	return false
 }
 
-// RemoveEdge deletes the undirected edge {u, v} if present.
-func (g *Graph) RemoveEdge(u, v int) {
+// RemoveEdge deletes the undirected edge {u, v} if present, reporting
+// whether it was.
+func (g *Graph) RemoveEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
 	if u == v {
-		return
+		return false
 	}
 	if g.remove(u, int32(v)) {
 		g.remove(v, int32(u))
 		g.edges--
+		return true
 	}
+	return false
 }
 
 // IsolateNode removes every edge incident to u, leaving it an isolated

@@ -68,6 +68,23 @@ type Session struct {
 	gr          *graph.Graph       // G_R over live nodes; departed nodes isolated
 	grScratch   []int              // reusable max-power neighbor buffer
 
+	// live is the maintained live-node count, so LiveCount and Observe
+	// never rescan the liveness vector.
+	live int
+
+	// O(changed) Observe state, maintained on incremental stacks only:
+	// comps tracks live connectivity across repairs (union-find with
+	// rebuild-on-split), and radius caches each live node's NodeRadius
+	// over g, recomputed only for nodes whose adjacency rows a repair
+	// touched. The pend* slices accumulate one repair's delta — filled by
+	// depart and patchArcs, drained by applyObserveDelta at the end of
+	// recompute.
+	comps      *graph.LiveComponents
+	radius     []float64
+	pendDepart []int
+	pendAdd    []graph.Edge
+	pendRemove []graph.Edge
+
 	// mark/markGen implement allocation-free set membership for the
 	// per-event dedup passes (observer unions, recompute id sets): node u
 	// is in the current set iff mark[u] == markGen.
@@ -166,6 +183,7 @@ func (e *Engine) sessionFromExec(ctx context.Context, nodes []Point, exec *core.
 		s.alive[i] = true
 		s.recs[i] = core.NewReconfigurator(e.cfg.Alpha, e.model, exec.Nodes[i].Neighbors)
 	}
+	s.live = len(nodes)
 	if s.incremental {
 		n := len(nodes)
 		s.pruned = make([][]core.Discovery, n)
@@ -189,6 +207,13 @@ func (e *Engine) sessionFromExec(ctx context.Context, nodes []Point, exec *core.
 		}
 		// Reuse the session's own grid — it indexes exactly these nodes.
 		s.gr = core.MaxPowerGraphParallelIndexed(nodes, e.model, s.idx, workers)
+		s.comps = graph.NewLiveComponents(s.g, s.alive)
+		s.radius = make([]float64, n)
+		if err := core.ParallelRange(ctx, n, pruneWorkers, func(_, u int) {
+			s.radius[u] = graph.NodeRadius(s.g, nodes, u)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -281,12 +306,17 @@ func (s *Session) admit(p Point) int {
 	s.nodes = append(s.nodes, core.NodeResult{})
 	s.recs = append(s.recs, nil)
 	s.idx.Add(id, p)
+	s.live++
 	if s.incremental {
 		s.pruned = append(s.pruned, nil)
 		s.nalpha.Grow(1)
 		s.g.Grow(1)
 		s.gr.Grow(1)
 		s.patchGR(id)
+		// The newcomer starts as a singleton component with radius 0; the
+		// recompute's edge patches union and refresh it.
+		s.comps.Join(id)
+		s.radius = append(s.radius, 0)
 	}
 	s.stats.Joins++
 	return id
@@ -297,8 +327,13 @@ func (s *Session) admit(p Point) int {
 func (s *Session) depart(id int) {
 	s.alive[id] = false
 	s.idx.Remove(id)
+	s.live--
 	if s.incremental {
 		s.gr.IsolateNode(id)
+		// The topology-edge removals themselves are recorded by patchArcs
+		// during the recompute; the departure is folded into the component
+		// structure alongside them.
+		s.pendDepart = append(s.pendDepart, id)
 	}
 	s.stats.Leaves++
 }
@@ -510,9 +545,13 @@ func (ts *TickSeries) Merge(o *TickSeries) {
 }
 
 // Observe computes the session's current TickStats. For engines whose
-// optimization stack is per-node local it reads the incrementally-
-// maintained graphs directly — no clone, no Result assembly; with
-// pairwise removal it derives the stats from the (cached) Snapshot.
+// optimization stack is per-node local the read is O(changed): repairs
+// maintain the component structure, the live/edge counters and the
+// per-node radius cache, so observing costs the maintained counters
+// plus one flat summation over the cached values — no BFS, no radius
+// recomputation, no Result assembly. With pairwise removal (a global
+// transformation with no per-node delta) it derives the stats from the
+// (cached) Snapshot via the reference full-scan path.
 func (s *Session) Observe() (TickStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -520,21 +559,23 @@ func (s *Session) Observe() (TickStats, error) {
 }
 
 func (s *Session) observeLocked() (TickStats, error) {
-	g := s.g
 	if !s.incremental {
 		snap, err := s.snapshotLocked()
 		if err != nil {
 			return TickStats{}, err
 		}
-		g = snap.G
+		return observeGraph(snap.G, s.alive, s.pos, s.nodes), nil
 	}
-	ts := TickStats{Edges: g.EdgeCount(), Components: liveComponents(g, s.alive)}
+	ts := TickStats{Live: s.live, Edges: s.g.EdgeCount(), Components: s.comps.Count()}
+	// The radius and energy sums fold the cached per-node values in the
+	// same ascending order as the reference scan, so the incremental
+	// stats are bitwise identical to observeGraph's — not just close —
+	// and stay so across checkpoint/restore.
 	for u, alive := range s.alive {
 		if !alive {
 			continue
 		}
-		ts.Live++
-		ts.AvgRadius += graph.NodeRadius(g, s.pos, u)
+		ts.AvgRadius += s.radius[u]
 		ts.Energy += s.nodes[u].GrowPower
 	}
 	if ts.Live > 0 {
@@ -542,6 +583,28 @@ func (s *Session) observeLocked() (TickStats, error) {
 		ts.AvgRadius /= float64(ts.Live)
 	}
 	return ts, nil
+}
+
+// observeGraph computes TickStats from scratch over g — the reference
+// full-scan path: a component BFS plus a fresh per-node radius pass.
+// The pairwise-removal stack observes through it every tick; on
+// incremental stacks it is the oracle the maintained path is tested
+// (and benchmarked) against.
+func observeGraph(g *graph.Graph, alive []bool, pos []Point, nodes []core.NodeResult) TickStats {
+	ts := TickStats{Edges: g.EdgeCount(), Components: liveComponents(g, alive)}
+	for u, a := range alive {
+		if !a {
+			continue
+		}
+		ts.Live++
+		ts.AvgRadius += graph.NodeRadius(g, pos, u)
+		ts.Energy += nodes[u].GrowPower
+	}
+	if ts.Live > 0 {
+		ts.AvgDegree = 2 * float64(ts.Edges) / float64(ts.Live)
+		ts.AvgRadius /= float64(ts.Live)
+	}
+	return ts
 }
 
 // liveComponents counts the connected components of g restricted to the
@@ -580,17 +643,37 @@ func (s *Session) Len() int {
 	return len(s.pos)
 }
 
-// LiveCount returns the number of live nodes.
+// LiveCount returns the number of live nodes, from the maintained
+// counter — O(1), no scan of the liveness vector.
 func (s *Session) LiveCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, a := range s.alive {
-		if a {
-			n++
-		}
+	return s.live
+}
+
+// NodeRadius returns node id's current transmission radius — the length
+// of its longest incident topology edge, 0 for isolated or departed
+// nodes. On incremental stacks it reads the maintained per-node cache;
+// with pairwise removal it derives the answer from the (cached)
+// Snapshot. Like Position it panics on an id the session never
+// allocated.
+func (s *Session) NodeRadius(id int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.pos) {
+		panic(fmt.Sprintf("cbtc: session has no node %d (len %d)", id, len(s.pos)))
 	}
-	return n
+	if !s.alive[id] {
+		return 0, nil
+	}
+	if s.incremental {
+		return s.radius[id], nil
+	}
+	snap, err := s.snapshotLocked()
+	if err != nil {
+		return 0, err
+	}
+	return graph.NodeRadius(snap.G, s.pos, id), nil
 }
 
 // Alive reports whether id identifies a live node.
@@ -720,8 +803,50 @@ func (s *Session) recompute(ids []int) []int {
 			s.patchArcs(u, nil)
 		}
 	}
+	if s.incremental {
+		s.applyObserveDelta(live)
+	}
 	s.cached = nil
 	return out
+}
+
+// applyObserveDelta folds one finished repair into the O(changed)
+// Observe state: the pending departures and the exact edge diff the arc
+// patches recorded go into the maintained component structure, and the
+// per-node radius cache is refreshed for exactly the nodes whose
+// adjacency rows changed — the recomputed live nodes plus the live
+// endpoints of diffed edges (an edge patch can touch a neighbor outside
+// the recompute set through the symmetric closure).
+func (s *Session) applyObserveDelta(recomputed []int) {
+	s.comps.Apply(s.g, graph.Delta{
+		Departed: s.pendDepart,
+		Added:    s.pendAdd,
+		Removed:  s.pendRemove,
+	})
+	s.newMarkEpoch()
+	for _, u := range recomputed {
+		s.marked(u)
+		s.radius[u] = graph.NodeRadius(s.g, s.pos, u)
+	}
+	refresh := func(u int) {
+		if s.alive[u] && !s.marked(u) {
+			s.radius[u] = graph.NodeRadius(s.g, s.pos, u)
+		}
+	}
+	for _, e := range s.pendAdd {
+		refresh(e.U)
+		refresh(e.V)
+	}
+	for _, e := range s.pendRemove {
+		refresh(e.U)
+		refresh(e.V)
+	}
+	for _, u := range s.pendDepart {
+		s.radius[u] = 0
+	}
+	s.pendDepart = s.pendDepart[:0]
+	s.pendAdd = s.pendAdd[:0]
+	s.pendRemove = s.pendRemove[:0]
 }
 
 // parallelGrain scales a repair's item count when resolving workers: one
@@ -749,7 +874,9 @@ func (s *Session) patchArcs(u int, pruned []core.Discovery) {
 		// A closure edge survives the arc removal iff the reverse arc
 		// remains; a mutual edge never does.
 		if mutual || !s.nalpha.HasArc(v, u) {
-			s.g.RemoveEdge(u, v)
+			if s.g.RemoveEdge(u, v) {
+				s.pendRemove = append(s.pendRemove, graph.NewEdge(u, v))
+			}
 		}
 	}
 	for _, nb := range pruned {
@@ -759,7 +886,9 @@ func (s *Session) patchArcs(u int, pruned []core.Discovery) {
 		}
 		s.nalpha.AddArc(u, v)
 		if !mutual || s.nalpha.HasArc(v, u) {
-			s.g.AddEdge(u, v)
+			if s.g.AddEdge(u, v) {
+				s.pendAdd = append(s.pendAdd, graph.NewEdge(u, v))
+			}
 		}
 	}
 	s.pruned[u] = pruned
