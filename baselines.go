@@ -26,6 +26,11 @@ const (
 	// BaselineMinMaxRadius is the centralized minimum-maximum-radius
 	// assignment in the spirit of Ramanathan & Rosales-Hain.
 	BaselineMinMaxRadius
+	// BaselineEnergyMST is the centralized energy-balanced spanner: the
+	// minimum spanning forest of the maximum-power graph under per-link
+	// transmit power as the edge weight. Engine.EnergyBaseline is the
+	// residual-aware variant a lifetime workload reconfigures with.
+	BaselineEnergyMST
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +44,8 @@ func (k BaselineKind) String() string {
 		return "yao6"
 	case BaselineMinMaxRadius:
 		return "minmax-radius"
+	case BaselineEnergyMST:
+		return "energy-mst"
 	default:
 		return fmt.Sprintf("BaselineKind(%d)", int(k))
 	}
@@ -46,16 +53,35 @@ func (k BaselineKind) String() string {
 
 // BaselineKinds lists every implemented comparator.
 func BaselineKinds() []BaselineKind {
-	return []BaselineKind{BaselineRNG, BaselineGabriel, BaselineYao6, BaselineMinMaxRadius}
+	return []BaselineKind{BaselineRNG, BaselineGabriel, BaselineYao6, BaselineMinMaxRadius, BaselineEnergyMST}
 }
 
 // Baseline builds the selected position-based topology over the
 // placement, restricted to the engine's maximum-power graph. The Result
 // carries the same metrics as a CBTC run, so the comparators slot into
 // the same analyses. The engine's optimization stack does not apply —
-// baselines have their own construction rules.
+// baselines have their own construction rules — but its propagation
+// model does: on a shadowed engine the comparators see the same
+// realized link set as the protocol.
 func (e *Engine) Baseline(kind BaselineKind, nodes []Point) (*Result, error) {
-	return e.baselineIndexed(kind, nodes, baseline.NewIndex(nodes, e.model.MaxRadius), nil)
+	return e.baselineIndexed(kind, nodes, baseline.NewPropagationIndex(nodes, e.prop), nil)
+}
+
+// EnergyBaseline builds the energy-balanced spanning forest for a
+// lifetime workload: the MST of the maximum-power graph under edge
+// weight p(u,v)/min(residual[u], residual[v]) — transmit power paid per
+// unit of the poorer endpoint's remaining energy — so links between
+// drained nodes price themselves out and the forest reroutes around
+// them. residual must hold one entry per node; a nil residual weighs by
+// transmit power alone, which is exactly Baseline(BaselineEnergyMST,
+// nodes). Nodes with no positive residual take no edges at all.
+func (e *Engine) EnergyBaseline(nodes []Point, residual []float64) (*Result, error) {
+	if residual != nil && len(residual) != len(nodes) {
+		return nil, fmt.Errorf("%w: %d residuals for %d nodes", ErrBadConfig, len(residual), len(nodes))
+	}
+	ix := baseline.NewPropagationIndex(nodes, e.prop)
+	g := ix.EnergyMST(residual)
+	return baselineResultWithGR(nodes, e.model, g, core.MaxPowerGraph(nodes, e.prop)), nil
 }
 
 // baselineIndexed builds one comparator from a caller-shared spatial
@@ -76,11 +102,13 @@ func (e *Engine) baselineIndexed(kind BaselineKind, nodes []Point, ix *baseline.
 		}
 	case BaselineMinMaxRadius:
 		g, _ = ix.MinMaxRadius()
+	case BaselineEnergyMST:
+		g = ix.EnergyMST(nil)
 	default:
 		return nil, fmt.Errorf("%w: unknown baseline %v", ErrBadConfig, kind)
 	}
 	if gr == nil {
-		gr = core.MaxPowerGraph(nodes, e.model)
+		gr = core.MaxPowerGraph(nodes, e.prop)
 	}
 	return baselineResultWithGR(nodes, e.model, g, gr), nil
 }

@@ -937,3 +937,62 @@ func BenchmarkObserve(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLifetime is the PR 10 energy-workload suite on a
+// paper-density 1000-node session. /drain-observe is the raw per-tick
+// battery cost: one event-free Tick paying the Θ(live) drain pass plus
+// the maintained O(changed) observation. /lifetime-tick is the full
+// LifetimeTick driver a fleet runs — drift events, repair, drain,
+// depletion scan — per tick. Capacities are sized so no node dies
+// during timing: the live set stays constant and per-op figures are
+// comparable across b.N.
+func BenchmarkLifetime(b *testing.B) {
+	ctx := context.Background()
+	const n = 1000
+	side := workload.LargeNSide(n)
+	pos := workload.Uniform(workload.Rand(7), n, side, side)
+	newBatterySession := func(b *testing.B) *Session {
+		b.Helper()
+		eng, err := New(WithMaxRadius(workload.PaperRadius), WithShrinkBack(), WithBattery(1e18, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := eng.NewSession(ctx, pos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+
+	b.Run("uniform-1000/drain-observe", func(b *testing.B) {
+		sess := newBatterySession(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, ts, err := sess.Tick(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ts.Residual <= 0 || ts.Live != n {
+				b.Fatalf("tick %d: live=%d residual=%v; capacity too small for the run", i, ts.Live, ts.Residual)
+			}
+		}
+	})
+
+	b.Run("uniform-1000/lifetime-tick", func(b *testing.B) {
+		sess := newBatterySession(b)
+		tick := LifetimeTick(TickProfile{
+			Moves: 8, Jitter: workload.PaperRadius / 8,
+			Width: side, Height: side,
+		})
+		rng := workload.Rand(19)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			events := tick(0, i, rng, sess)
+			if _, _, err := sess.Tick(events); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

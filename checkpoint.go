@@ -39,7 +39,7 @@ var (
 // fingerprint captures the engine's full resolved protocol configuration
 // in the checkpoint format's fixed-width shape.
 func (e *Engine) fingerprint() codec.EngineConfig {
-	return codec.EngineConfig{
+	fc := codec.EngineConfig{
 		Alpha:             e.cfg.Alpha,
 		MaxRadius:         e.cfg.MaxRadius,
 		PathLossExponent:  e.cfg.PathLossExponent,
@@ -49,7 +49,16 @@ func (e *Engine) fingerprint() codec.EngineConfig {
 		NonContributing:   e.opts.NonContributing,
 		PairwisePolicy:    uint8(e.opts.PairwisePolicy),
 		ScheduleFactor:    e.scheduleFactor,
+		RefLoss:           e.model.RefLoss,
+		BatteryCapacity:   e.batteryCap,
+		BatteryDrain:      e.batteryDrain,
 	}
+	if e.shadowed {
+		fc.RadioKind = 1
+		fc.ShadowSigmaDB = e.shadowSigma
+		fc.ShadowSeed = e.shadowSeed
+	}
+	return fc
 }
 
 // checkFingerprint verifies a checkpoint's embedded engine fingerprint
@@ -99,6 +108,9 @@ func (s *Session) exportLocked() *codec.SessionState {
 		},
 		Incremental: s.incremental,
 	}
+	if s.battery != nil {
+		st.Battery = append([]float64(nil), s.battery...)
+	}
 	if s.incremental {
 		st.Pruned = append([][]core.Discovery(nil), s.pruned...)
 		st.Nalpha = s.nalpha.Clone()
@@ -141,7 +153,13 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 	if st.Incremental != !e.opts.PairwiseRemoval {
 		return nil, fmt.Errorf("%w: incremental flag %v under pairwise-removal %v", ErrCheckpointCorrupt, st.Incremental, e.opts.PairwiseRemoval)
 	}
+	if (st.Battery != nil) != e.battery {
+		return nil, fmt.Errorf("%w: battery vector present %v under battery model %v", ErrCheckpointCorrupt, st.Battery != nil, e.battery)
+	}
 	n := len(st.Pos)
+	if st.Battery != nil && len(st.Battery) != n {
+		return nil, fmt.Errorf("%w: battery vector holds %d nodes, session has %d", ErrCheckpointCorrupt, len(st.Battery), n)
+	}
 	s := &Session{
 		eng:     e,
 		workers: workers,
@@ -149,7 +167,7 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 		alive:   st.Alive,
 		nodes:   st.Nodes,
 		recs:    make([]*core.Reconfigurator, n),
-		idx:     spatial.New(st.Pos, e.model.MaxRadius),
+		idx:     spatial.New(st.Pos, e.prop.MaxLinkRadius()),
 		stats: SessionStats{
 			Joins:        int(st.Stats.Joins),
 			Leaves:       int(st.Stats.Leaves),
@@ -168,6 +186,10 @@ func (e *Engine) sessionFromState(st *codec.SessionState, workers int) (*Session
 		s.live++
 		s.recs[id] = core.NewReconfigurator(e.cfg.Alpha, e.model, st.Nodes[id].Neighbors)
 	}
+	// The battery vector is adopted directly; the residual moments Observe
+	// reports are folded fresh from it each read, so nothing else needs
+	// reconstruction.
+	s.battery = st.Battery
 	if st.Incremental {
 		s.pruned = st.Pruned
 		s.nalpha = st.Nalpha
@@ -245,6 +267,8 @@ func (f *Fleet) Checkpoint(w io.Writer) error {
 			Radius:     net.series.Radius,
 			Components: net.series.Components,
 			Energy:     net.series.Energy,
+			Residual:   net.series.Residual,
+			EnergyVar:  net.series.EnergyVar,
 			Session:    *ss,
 		}
 	}
@@ -266,6 +290,11 @@ func engineFromFingerprint(fc codec.EngineConfig, workers int) (*Engine, error) 
 		// can never carry it.
 		return nil, fmt.Errorf("%w: member fingerprint requests unsupported non-contributing removal", ErrCheckpointCorrupt)
 	}
+	if fc.RadioKind > 1 {
+		// The option surface only expresses the pure power law (0) and
+		// log-distance shadowing (1).
+		return nil, fmt.Errorf("%w: member fingerprint requests unknown radio kind %d", ErrCheckpointCorrupt, fc.RadioKind)
+	}
 	s := settings{
 		cfg: Config{
 			Alpha:             fc.Alpha,
@@ -278,6 +307,17 @@ func engineFromFingerprint(fc codec.EngineConfig, workers int) (*Engine, error) 
 		},
 		scheduleFactor: fc.ScheduleFactor,
 		workers:        workers,
+		refLoss:        fc.RefLoss,
+	}
+	if fc.RadioKind == 1 {
+		s.useShadow = true
+		s.shadowSigma = fc.ShadowSigmaDB
+		s.shadowSeed = fc.ShadowSeed
+	}
+	if fc.BatteryCapacity > 0 {
+		s.useBattery = true
+		s.batteryCap = fc.BatteryCapacity
+		s.batteryDrain = fc.BatteryDrain
 	}
 	eng, err := newEngine(s)
 	if err != nil {
@@ -358,6 +398,8 @@ func (e *Engine) networkFromState(i int, ns *codec.NetworkState, inner int) (*fl
 			Radius:     ns.Radius,
 			Components: ns.Components,
 			Energy:     ns.Energy,
+			Residual:   ns.Residual,
+			EnergyVar:  ns.EnergyVar,
 		},
 	}
 	net.done.Store(ns.Done)

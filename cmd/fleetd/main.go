@@ -13,6 +13,12 @@
 //	       [-m 4] [-n 100] [-kind uniform|clustered] [-seed 7]
 //	       [-tick 100ms] [-checkpoint-interval 30s] [-generations 2]
 //	       [-queue 4096] [-workers 0]
+//	       [-battery-capacity 0] [-battery-drain 1]
+//
+// -battery-capacity > 0 gives every node a battery of that capacity,
+// drained each tick by -battery-drain × p(radius); /healthz then
+// reports the fleet's mean residual energy ("residual") and the pooled
+// energy variance ("energy_var") alongside connectivity.
 //
 // # Durability
 //
@@ -133,16 +139,23 @@ func main() {
 		kind     = flag.String("kind", "uniform", "fresh-fleet placement kind: uniform | clustered")
 		seed     = flag.Uint64("seed", 7, "fresh-fleet base seed")
 		workers  = flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
+		batCap   = flag.Float64("battery-capacity", 0, "per-node battery capacity (0 = no battery model)")
+		batDrain = flag.Float64("battery-drain", 1, "per-tick battery drain coefficient (scales p(radius))")
 	)
 	flag.Parse()
 	if *tickIvl <= 0 || *queueCap <= 0 || *m <= 0 || *n <= 0 || *gens < 0 {
 		fail(errors.New("fleetd: -tick, -queue, -m and -n must be positive and -generations non-negative"))
 	}
 
-	// The engine stack is fixed (paper radius, shrink-back on), so a
-	// checkpoint written by fleetd is always restorable by fleetd.
+	// The engine stack is fixed by the flags (paper radius, shrink-back
+	// on, battery per -battery-*), so a checkpoint written by fleetd is
+	// always restorable by a fleetd started with the same flags.
 	sc := workload.Fleet(*m, *n, *kind)
-	eng, err := cbtc.New(cbtc.WithMaxRadius(sc.Radius), cbtc.WithShrinkBack(), cbtc.WithWorkers(*workers))
+	opts := []cbtc.Option{cbtc.WithMaxRadius(sc.Radius), cbtc.WithShrinkBack(), cbtc.WithWorkers(*workers)}
+	if *batCap > 0 {
+		opts = append(opts, cbtc.WithBattery(*batCap, *batDrain))
+	}
+	eng, err := cbtc.New(opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -745,8 +758,10 @@ func (d *daemon) routes() http.Handler {
 		// components == networks - quarantined.
 		obs, obsErr := d.fleet.Observe()
 		components, live := -1, -1
+		residual, energyVar := 0.0, 0.0
 		if obsErr == nil {
 			components, live = obs.Components, obs.Live
+			residual, energyVar = obs.Residual, obs.EnergyVar
 		}
 		writeJSON(w, status, map[string]any{
 			"status":                 state,
@@ -754,6 +769,8 @@ func (d *daemon) routes() http.Handler {
 			"quarantined":            health.Quarantined,
 			"components":             components,
 			"live":                   live,
+			"residual":               residual,
+			"energy_var":             energyVar,
 			"ticks":                  d.ticks.Load(),
 			"ticks_min":              wm.Ticks.Min,
 			"ticks_max":              wm.Ticks.Max,

@@ -33,6 +33,16 @@
 // table (member, first partitioned tick) and exit nonzero; the
 // lifetime-to-first-partition number is the energy-balance literature's
 // headline metric.
+//
+// -lifetime runs the network-lifetime workload instead: every node gets
+// a battery (-capacity, 0 = 2R²; -drain) drained each tick by
+// drain × p(radius) of its installed broadcast radius, depleted nodes
+// die as Leave events (LifetimeTick), and the same first-partition
+// machinery the SLO gate uses measures each member's
+// lifetime-to-first-partition. The summary grows residual-energy and
+// energy-variance rows plus a per-member lifetime table; partitioning
+// is the workload's expected endpoint, so it is reported, not failed —
+// combine with -slo connected to keep the hard gate.
 package main
 
 import (
@@ -64,6 +74,9 @@ func main() {
 		protocol  = flag.Int("protocol", 0, "build the first k members with the distributed protocol")
 		chaosSpec = flag.String("chaos", "", "deterministic fault injection spec (seed=,panic=,delay=,delaymax=)")
 		slo       = flag.String("slo", "", "per-tick SLO gate: 'connected' exits nonzero if any network ever partitions")
+		lifetime  = flag.Bool("lifetime", false, "network-lifetime workload: batteries drain, depleted nodes die, lifetime-to-first-partition is reported")
+		capacity  = flag.Float64("capacity", 0, "per-node battery capacity for -lifetime (0 = 2R²)")
+		drain     = flag.Float64("drain", 1, "per-tick battery drain coefficient for -lifetime (scales p(radius))")
 		verbose   = flag.Bool("v", false, "print the per-network table")
 	)
 	flag.Parse()
@@ -84,7 +97,16 @@ func main() {
 	}
 	sc.JoinProb, sc.LeaveProb = *churn, *churn
 
-	eng, err := cbtc.New(cbtc.WithMaxRadius(sc.Radius), cbtc.WithShrinkBack(), cbtc.WithWorkers(*workers))
+	opts := []cbtc.Option{cbtc.WithMaxRadius(sc.Radius), cbtc.WithShrinkBack(), cbtc.WithWorkers(*workers)}
+	if *lifetime {
+		if *capacity == 0 {
+			// ≈ a few dozen ticks at typical CBTC radii (r ≈ R/3 drains
+			// 2R²/(R/3)² = 18 ticks' worth under the default exponent).
+			*capacity = 2 * sc.Radius * sc.Radius
+		}
+		opts = append(opts, cbtc.WithBattery(*capacity, *drain))
+	}
+	eng, err := cbtc.New(opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -100,12 +122,14 @@ func main() {
 	if *chaosSpec != "" {
 		cfg.TickHook = chaos.New(faults).Tick
 	}
-	// The connectivity SLO watches every member tick through the
-	// ObserveHook: per-member calls arrive in tick order, so the CAS
-	// keeps exactly the first partitioned tick; members never share a
-	// slot, so concurrent callbacks from different workers are safe.
+	// The connectivity SLO — and the -lifetime workload's headline
+	// lifetime-to-first-partition metric — watch every member tick
+	// through the ObserveHook: per-member calls arrive in tick order, so
+	// the CAS keeps exactly the first partitioned tick; members never
+	// share a slot, so concurrent callbacks from different workers are
+	// safe.
 	var firstPartition []atomic.Int64
-	if *slo == "connected" {
+	if *slo == "connected" || *lifetime {
 		firstPartition = make([]atomic.Int64, sc.M)
 		for i := range firstPartition {
 			firstPartition[i].Store(-1)
@@ -124,14 +148,18 @@ func main() {
 	}
 	buildTime := time.Since(buildStart)
 
-	tick := cbtc.DriftTick(cbtc.TickProfile{
+	profile := cbtc.TickProfile{
 		Moves:     sc.Moves,
 		Jitter:    sc.Jitter,
 		JoinProb:  sc.JoinProb,
 		LeaveProb: sc.LeaveProb,
 		Width:     sc.Side,
 		Height:    sc.Side,
-	})
+	}
+	tick := cbtc.DriftTick(profile)
+	if *lifetime {
+		tick = cbtc.LifetimeTick(profile)
+	}
 	runStart := time.Now()
 	rep, err := fleet.Run(ctx, *ticks, tick)
 	var quar *cbtc.QuarantineError
@@ -150,6 +178,10 @@ func main() {
 	addStream("avg radius", rep.Series.Radius)
 	addStream("components", rep.Series.Components)
 	addStream("energy", rep.Series.Energy)
+	if *lifetime {
+		addStream("residual", rep.Series.Residual)
+		addStream("energy var", rep.Series.EnergyVar)
+	}
 	fmt.Print(tb.String())
 	fmt.Printf("\nlive nodes %d, edges %d, events %d, degree p50/p95 %d/%d, partition preserved %d/%d\n",
 		rep.Live, rep.Edges, rep.Events,
@@ -190,7 +222,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fleetsim: SOME NETWORKS LOST THE GROUND-TRUTH PARTITION")
 		os.Exit(1)
 	}
-	if firstPartition != nil {
+	if *lifetime {
+		// Partitioning is this workload's endpoint, not a failure: the
+		// table reports each member's lifetime-to-first-partition next to
+		// its energy balance, and the fleet's lifetime is the worst one.
+		fmt.Println()
+		lt := stats.NewTable("net", "kind", "first partition", "live", "residual", "energy var")
+		fleetLifetime := int64(-1)
+		for _, nr := range rep.PerNetwork {
+			fp := "-"
+			if t := firstPartition[nr.Net].Load(); t >= 0 {
+				fp = fmt.Sprint(t)
+				if fleetLifetime < 0 || t < fleetLifetime {
+					fleetLifetime = t
+				}
+			}
+			lt.AddRow(fmt.Sprint(nr.Net), nr.Kind.String(), fp,
+				fmt.Sprint(nr.Final.Live), stats.F(nr.Final.Residual, 1), stats.F(nr.Final.EnergyVar, 1))
+		}
+		fmt.Print(lt.String())
+		if fleetLifetime >= 0 {
+			fmt.Printf("fleet lifetime: first partition at tick %d\n", fleetLifetime)
+		} else {
+			fmt.Println("fleet lifetime: no network partitioned within the run")
+		}
+	}
+	if *slo == "connected" {
 		violated := false
 		vt := stats.NewTable("net", "first partitioned tick")
 		for i := range firstPartition {

@@ -3,6 +3,7 @@ package cbtc
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"cbtc/internal/core"
 	"cbtc/internal/graph"
@@ -18,8 +19,13 @@ import (
 // and any number of Sessions (NewSession) and Fleets (NewFleet) may
 // evolve concurrently on top of it.
 type Engine struct {
-	cfg      Config
-	model    radio.Model
+	cfg   Config
+	model radio.Model // nominal power-law model (the hardware curve)
+	// prop is the propagation authority every executor consults: the
+	// nominal model itself, or a radio.LogDistance wrapping it when
+	// WithShadowing installed per-link shadowing. prop.Nominal() == model
+	// always holds.
+	prop     radio.Propagation
 	opts     core.Options
 	schedule []float64 // non-nil: quantize discovery tags to these levels
 	// scheduleFactor is the WithShrinkBackSchedule factor the schedule was
@@ -27,6 +33,15 @@ type Engine struct {
 	// fingerprint, since quantization changes the serialized fixed point.
 	scheduleFactor float64
 	workers        int // worker budget for Run/RunBatch/MaxPower/Session repair/Fleets; 0 = GOMAXPROCS
+
+	// shadowing (WithShadowing); part of the checkpoint fingerprint.
+	shadowed    bool
+	shadowSigma float64
+	shadowSeed  uint64
+	// battery (WithBattery); part of the checkpoint fingerprint.
+	battery      bool
+	batteryCap   float64
+	batteryDrain float64
 }
 
 // New builds an Engine from functional options, validating the combined
@@ -55,14 +70,56 @@ func (s *settings) apply(options []Option) {
 // newEngine validates accumulated settings into an immutable Engine —
 // the shared back half of New and Engine.derive.
 func newEngine(s settings) (*Engine, error) {
+	if s.model != nil {
+		if s.usedPathLoss || s.usedMaxRadius || s.usedConfig {
+			return nil, fmt.Errorf("%w: WithRadioModel cannot be combined with WithPathLoss, WithMaxRadius, or a WithConfig carrying radio fields", ErrBadConfig)
+		}
+		if err := s.model.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		s.cfg.MaxRadius = s.model.MaxRadius
+		s.cfg.PathLossExponent = s.model.Exponent
+	}
 	cfg, m, opts, err := s.cfg.resolve()
 	if err != nil {
 		return nil, err
 	}
+	if s.model != nil {
+		m = *s.model // carry the reference loss; radius/exponent already agree
+	} else if s.refLoss != 0 && s.refLoss != m.RefLoss {
+		m.RefLoss = s.refLoss // derive carry-through of a non-unit reference loss
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
 	if s.workers < 0 {
 		return nil, fmt.Errorf("%w: negative worker count %d", ErrBadConfig, s.workers)
 	}
-	eng := &Engine{cfg: cfg, model: m, opts: opts, workers: s.workers}
+	eng := &Engine{cfg: cfg, model: m, prop: m, opts: opts, workers: s.workers}
+	if s.useShadow {
+		ld, err := radio.NewLogDistance(m, s.shadowSigma, s.shadowSeed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		eng.prop = ld
+		eng.shadowed = true
+		eng.shadowSigma = s.shadowSigma
+		eng.shadowSeed = s.shadowSeed
+	}
+	if s.useBattery {
+		if math.IsNaN(s.batteryCap) || math.IsInf(s.batteryCap, 0) || s.batteryCap <= 0 {
+			return nil, fmt.Errorf("%w: battery capacity %v must be positive and finite", ErrBadConfig, s.batteryCap)
+		}
+		if math.IsNaN(s.batteryDrain) || math.IsInf(s.batteryDrain, 0) || s.batteryDrain < 0 {
+			return nil, fmt.Errorf("%w: battery drain %v must be non-negative and finite", ErrBadConfig, s.batteryDrain)
+		}
+		if cfg.PairwiseRemoval {
+			return nil, fmt.Errorf("%w: WithBattery requires the incremental session stack and cannot be combined with pairwise edge removal", ErrBadConfig)
+		}
+		eng.battery = true
+		eng.batteryCap = s.batteryCap
+		eng.batteryDrain = s.batteryDrain
+	}
 	if s.scheduleFactor != 0 {
 		inc, err := radio.Multiplicative(s.scheduleFactor)
 		if err != nil {
@@ -87,7 +144,18 @@ func (e *Engine) derive(options ...Option) (*Engine, error) {
 	if len(options) == 0 {
 		return e, nil
 	}
-	s := settings{cfg: e.cfg, scheduleFactor: e.scheduleFactor, workers: e.workers}
+	s := settings{
+		cfg:            e.cfg,
+		scheduleFactor: e.scheduleFactor,
+		workers:        e.workers,
+		refLoss:        e.model.RefLoss,
+		useShadow:      e.shadowed,
+		shadowSigma:    e.shadowSigma,
+		shadowSeed:     e.shadowSeed,
+		useBattery:     e.battery,
+		batteryCap:     e.batteryCap,
+		batteryDrain:   e.batteryDrain,
+	}
 	s.apply(options)
 	return newEngine(s)
 }
@@ -95,6 +163,15 @@ func (e *Engine) derive(options ...Option) (*Engine, error) {
 // Config returns the fully-resolved configuration the Engine runs with
 // (defaults filled in, pairwise policy resolved).
 func (e *Engine) Config() Config { return e.cfg }
+
+// RadioModel returns the nominal power-law radio model the Engine runs
+// with — the hardware curve, before any per-link shadowing.
+func (e *Engine) RadioModel() RadioModel { return e.model }
+
+// Propagation returns the propagation authority the Engine consults for
+// every link decision: the nominal model, or the shadowed log-distance
+// model when WithShadowing is in effect.
+func (e *Engine) Propagation() radio.Propagation { return e.prop }
 
 // withWorkers returns a copy of the engine pinned to a different worker
 // budget. Every executor is worker-count invariant, so the copy is
@@ -123,7 +200,7 @@ func (e *Engine) Run(ctx context.Context, nodes []Point) (*Result, error) {
 // run is Run with an explicit worker count; RunBatch pins it to 1 so
 // batch-level parallelism is not multiplied by per-run parallelism.
 func (e *Engine) run(ctx context.Context, nodes []Point, workers int) (*Result, error) {
-	exec, err := core.RunParallel(ctx, nodes, e.model, e.cfg.Alpha, workers)
+	exec, err := core.RunParallel(ctx, nodes, e.prop, e.cfg.Alpha, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +236,7 @@ func (e *Engine) Simulate(ctx context.Context, nodes []Point, sim SimOptions) (*
 // shared front half of Simulate and NewProtocolSession.
 func (e *Engine) protoExec(ctx context.Context, nodes []Point, sim SimOptions) (*core.Execution, error) {
 	simOpts := netsim.Options{
-		Model:    e.model,
+		Model:    e.prop,
 		Latency:  sim.Latency,
 		Jitter:   sim.Jitter,
 		DropProb: sim.DropProb,
@@ -195,7 +272,7 @@ func (e *Engine) protoExec(ctx context.Context, nodes []Point, sim SimOptions) (
 // pool. The engine's optimization stack does not apply.
 func (e *Engine) MaxPower(nodes []Point) (*Result, error) {
 	m := e.model
-	gr := core.MaxPowerGraphParallel(nodes, m, e.workers)
+	gr := core.MaxPowerGraphParallel(nodes, e.prop, e.workers)
 	radii := make([]float64, len(nodes))
 	powers := make([]float64, len(nodes))
 	boundary := make([]bool, len(nodes))

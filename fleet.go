@@ -274,6 +274,37 @@ func DriftTick(p TickProfile) TickFunc {
 	}
 }
 
+// LifetimeTick returns the network-lifetime TickFunc: DriftTick's
+// mobility/membership profile, followed by one LeaveEvent per live node
+// whose battery has emptied (Session.Depleted). Deaths come after the
+// drift events so they can never invalidate an earlier event of the
+// same batch, and a node the drift already removes this tick is not
+// Leave'd twice. Depletion is read from the session's observable state
+// and consumes no randomness, so the contract of TickFunc — member
+// histories byte-identical given the seed at any worker count — holds;
+// on engines without a battery model LifetimeTick degenerates to
+// DriftTick exactly.
+func LifetimeTick(p TickProfile) TickFunc {
+	drift := DriftTick(p)
+	return func(net, tick int, rng *rand.Rand, s *Session) []Event {
+		events := drift(net, tick, rng, s)
+		dead := s.Depleted()
+		if len(dead) == 0 {
+			return events
+		}
+		leaving := -1 // DriftTick emits at most one leave, always last
+		if k := len(events) - 1; k >= 0 && events[k].Kind == EventLeave {
+			leaving = events[k].ID
+		}
+		for _, id := range dead {
+			if id != leaving {
+				events = append(events, LeaveEvent(id))
+			}
+		}
+		return events
+	}
+}
+
 // randomLive draws a uniformly random live node id, by rejection over
 // the session's id space. It returns -1 when no live node turns up
 // (an emptied network).
@@ -977,17 +1008,24 @@ func (f *Fleet) SetObserveHook(h ObserveHook) {
 
 // Observe sums every healthy member's current TickStats into one
 // fleet-wide aggregate: Live, Edges, Components and Energy add across
-// members (a fleet of m connected networks reports m components), and
-// the degree/radius averages are live-node-weighted means. Each
-// member's read is the session's O(changed) Observe, so the whole call
-// is cheap enough for liveness surfaces — cmd/fleetd's /healthz reports
-// the component total through it on every probe. Quarantined members
-// are skipped: their sessions are unreadable until readmitted.
+// members (a fleet of m connected networks reports m components), the
+// degree/radius averages are live-node-weighted means, and the battery
+// fields pool across battery-model members only — Residual is the mean
+// residual over their live nodes and EnergyVar the pooled population
+// variance (within-member variance plus between-member mean spread), so
+// a mixed fleet's non-battery members never drag the energy picture
+// toward zero. Each member's read is the session's O(changed) Observe,
+// so the whole call is cheap enough for liveness surfaces — cmd/fleetd's
+// /healthz reports the component total through it on every probe.
+// Quarantined members are skipped: their sessions are unreadable until
+// readmitted.
 func (f *Fleet) Observe() (TickStats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var agg TickStats
 	var radiusSum float64
+	var batLive int
+	var resSum, resSqSum float64 // Σ live·mean, Σ live·E[b²] over battery members
 	for _, net := range f.nets {
 		if net.quarantined() {
 			continue
@@ -1001,10 +1039,24 @@ func (f *Fleet) Observe() (TickStats, error) {
 		agg.Components += ts.Components
 		agg.Energy += ts.Energy
 		radiusSum += ts.AvgRadius * float64(ts.Live)
+		if net.eng.battery {
+			batLive += ts.Live
+			resSum += ts.Residual * float64(ts.Live)
+			resSqSum += (ts.EnergyVar + ts.Residual*ts.Residual) * float64(ts.Live)
+		}
 	}
 	if agg.Live > 0 {
 		agg.AvgDegree = 2 * float64(agg.Edges) / float64(agg.Live)
 		agg.AvgRadius = radiusSum / float64(agg.Live)
+	}
+	if batLive > 0 {
+		mean := resSum / float64(batLive)
+		agg.Residual = mean
+		v := resSqSum/float64(batLive) - mean*mean
+		if v < 0 { // floating-point cancellation on near-equal members
+			v = 0
+		}
+		agg.EnergyVar = v
 	}
 	return agg, nil
 }

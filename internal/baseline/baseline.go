@@ -24,6 +24,7 @@ import (
 
 	"cbtc/internal/geom"
 	"cbtc/internal/graph"
+	"cbtc/internal/radio"
 	"cbtc/internal/spatial"
 )
 
@@ -35,12 +36,42 @@ type Index struct {
 	pos  []geom.Point
 	r    float64
 	grid *spatial.Grid
+	// prop is the propagation model the index answers link questions
+	// with. linked records whether it carries per-link state (shadowing):
+	// when false, the pure squared-distance admission check — byte-for-
+	// byte the historical predicate — is used instead of a per-pair
+	// interface dispatch.
+	prop   radio.Propagation
+	linked bool
 }
 
 // NewIndex builds the shared accelerator for the placement with
-// maximum-power radius r.
+// maximum-power radius r under the pure distance predicate (equivalent
+// to a power-law model with maximum radius r).
 func NewIndex(pos []geom.Point, r float64) *Index {
-	return &Index{pos: pos, r: r, grid: spatial.New(pos, r)}
+	return &Index{pos: pos, r: r, grid: spatial.New(pos, r), prop: radio.Default(r)}
+}
+
+// NewPropagationIndex builds the shared accelerator for the placement
+// under an arbitrary propagation model: the grid is sized to the model's
+// per-link radius bound and every construction's admission check defers
+// to the model's per-link range predicate. For a pure radio.Model this
+// is identical to NewIndex(pos, m.MaxRadius).
+func NewPropagationIndex(pos []geom.Point, p radio.Propagation) *Index {
+	r := p.MaxLinkRadius()
+	return &Index{pos: pos, r: r, grid: spatial.New(pos, r), prop: p, linked: !p.DistancePure()}
+}
+
+// inRange reports whether the pair (u,v) at squared distance d2 is a
+// G_R link under the index's propagation model. Pure models keep the
+// historical squared-distance comparison; link models take the exact
+// per-link predicate on the candidates the slack-widened grid query
+// returned.
+func (ix *Index) inRange(u, v int, d2 float64) bool {
+	if !ix.linked {
+		return d2 <= ix.r*ix.r*(1+1e-12)
+	}
+	return ix.prop.LinkInRange(u, v, math.Sqrt(d2))
 }
 
 // within returns the ids within radius rad of p in ascending order — a
@@ -58,11 +89,10 @@ func (ix *Index) within(p geom.Point, rad float64) []int {
 func (ix *Index) MaxPowerGraph() *graph.Graph {
 	n := len(ix.pos)
 	rows := make([][]int32, n)
-	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
 		var row []int32
 		for _, v := range ix.within(ix.pos[u], ix.r) {
-			if v > u && ix.pos[u].Dist2(ix.pos[v]) <= r2*(1+1e-12) {
+			if v > u && ix.inRange(u, v, ix.pos[u].Dist2(ix.pos[v])) {
 				row = append(row, int32(v))
 			}
 		}
@@ -80,14 +110,13 @@ func (ix *Index) MaxPowerGraph() *graph.Graph {
 func (ix *Index) RNG() *graph.Graph {
 	n := len(ix.pos)
 	g := graph.New(n)
-	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
 		for _, v := range ix.within(ix.pos[u], ix.r) {
 			if v <= u {
 				continue
 			}
 			d2 := ix.pos[u].Dist2(ix.pos[v])
-			if d2 > r2*(1+1e-12) {
+			if !ix.inRange(u, v, d2) {
 				continue
 			}
 			witness := false
@@ -115,14 +144,13 @@ func (ix *Index) RNG() *graph.Graph {
 func (ix *Index) Gabriel() *graph.Graph {
 	n := len(ix.pos)
 	g := graph.New(n)
-	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
 		for _, v := range ix.within(ix.pos[u], ix.r) {
 			if v <= u {
 				continue
 			}
 			d2 := ix.pos[u].Dist2(ix.pos[v])
-			if d2 > r2*(1+1e-12) {
+			if !ix.inRange(u, v, d2) {
 				continue
 			}
 			center := ix.pos[u].Midpoint(ix.pos[v])
@@ -157,7 +185,6 @@ func (ix *Index) Yao(k int) (*graph.Digraph, error) {
 	n := len(ix.pos)
 	d := graph.NewDigraph(n)
 	sector := geom.TwoPi / float64(k)
-	r2 := ix.r * ix.r
 	best := make([]int, k)
 	bestD2 := make([]float64, k)
 	for u := 0; u < n; u++ {
@@ -170,7 +197,7 @@ func (ix *Index) Yao(k int) (*graph.Digraph, error) {
 				continue
 			}
 			d2 := ix.pos[u].Dist2(ix.pos[v])
-			if d2 > r2*(1+1e-12) {
+			if !ix.inRange(u, v, d2) {
 				continue
 			}
 			s := int(ix.pos[u].Bearing(ix.pos[v]) / sector)
@@ -214,14 +241,13 @@ func (ix *Index) BetaSkeleton(beta float64) (*graph.Graph, error) {
 	}
 	n := len(ix.pos)
 	g := graph.New(n)
-	r2 := ix.r * ix.r
 	for u := 0; u < n; u++ {
 		for _, v := range ix.within(ix.pos[u], ix.r) {
 			if v <= u {
 				continue
 			}
 			d2 := ix.pos[u].Dist2(ix.pos[v])
-			if d2 > r2*(1+1e-12) {
+			if !ix.inRange(u, v, d2) {
 				continue
 			}
 			lRad := beta * math.Sqrt(d2) / 2
@@ -273,6 +299,54 @@ func (ix *Index) MinMaxRadius() (*graph.Graph, []float64) {
 		}
 	}
 	return out, radii
+}
+
+// EnergyMST returns the minimum spanning forest of G_R under per-link
+// transmission energy — the backbone of the energy-balanced
+// reconfiguration baseline. With residual nil the weight of {u,v} is the
+// power the propagation model requires to establish the link, so the
+// forest minimizes total transmit energy. With residual batteries given
+// (one per node, in energy units), each link's energy cost is divided by
+// the smaller of its endpoints' residuals: links leaning on nearly-drained
+// nodes become expensive and the forest routes around them, spreading
+// drain across the population. A fully-depleted endpoint cannot transmit
+// at all: its links are dropped before the spanning pass, so dead nodes
+// come out isolated and the forest reroutes around them.
+func (ix *Index) EnergyMST(residual []float64) *graph.Graph {
+	gr := ix.MaxPowerGraph()
+	if residual != nil {
+		pruned := graph.New(gr.Len())
+		for u := 0; u < gr.Len(); u++ {
+			if residual[u] <= 0 {
+				continue
+			}
+			for _, v := range gr.Neighbors(u) {
+				if u < v && residual[v] > 0 {
+					pruned.AddEdge(u, v)
+				}
+			}
+		}
+		gr = pruned
+	}
+	w := func(u, v int) float64 {
+		d := ix.pos[u].Dist(ix.pos[v])
+		cost := ix.prop.LinkPower(u, v, d)
+		if residual != nil {
+			cost /= math.Min(residual[u], residual[v])
+		}
+		return cost
+	}
+	return graph.MST(gr, w)
+}
+
+// EnergyRadii assigns each node its longest incident edge in the given
+// spanning structure — the per-node broadcast radius that realizes it.
+func (ix *Index) EnergyRadii(forest *graph.Graph) []float64 {
+	radii := make([]float64, len(ix.pos))
+	for u := range ix.pos {
+		radii[u] = graph.NodeRadius(forest, ix.pos, u)
+	}
+	return radii
 }
 
 // RNG builds the relative neighborhood graph with a throwaway Index.

@@ -41,12 +41,19 @@ import (
 )
 
 // Version is the current checkpoint format version. Decoders accept
-// exactly this version: the format ships no migration machinery yet, so
-// a version bump is a deliberate compatibility break. Version 2 made
-// fleet members heterogeneous: each network carries its own engine
-// fingerprint, member kind, tick weight and tick target, and the
-// fleet-global tick target is gone.
-const Version = 2
+// this version and the previous one: version 3 extended the fingerprint
+// with the radio-model identity (reference loss, propagation kind,
+// shadowing parameters) and the battery configuration, added per-node
+// residual-battery vectors to session bodies, and added the
+// residual/energy-variance streams to fleet members. A version-2 stream
+// decodes as the implied power-law radio (RefLoss 1, no shadowing, no
+// battery). Version 2 made fleet members heterogeneous: each network
+// carries its own engine fingerprint, member kind, tick weight and tick
+// target, and the fleet-global tick target is gone.
+const Version = 3
+
+// MinVersion is the oldest format version the decoders still accept.
+const MinVersion = 2
 
 // Kinds discriminate the two checkpoint payloads.
 const (
@@ -97,6 +104,21 @@ type EngineConfig struct {
 	// ScheduleFactor is the shrink-back quantization factor (0 = exact
 	// tags).
 	ScheduleFactor float64
+
+	// RefLoss is the nominal model's reference loss (version-2 streams
+	// imply 1).
+	RefLoss float64
+	// RadioKind identifies the propagation model: 0 = pure power law,
+	// 1 = log-distance with per-link shadowing.
+	RadioKind uint8
+	// ShadowSigmaDB and ShadowSeed parameterize the shadowing realization
+	// when RadioKind is 1; both zero otherwise.
+	ShadowSigmaDB float64
+	ShadowSeed    uint64
+	// BatteryCapacity and BatteryDrain carry the engine's battery model;
+	// capacity 0 means no battery.
+	BatteryCapacity float64
+	BatteryDrain    float64
 }
 
 // SessionCounters mirrors cbtc.SessionStats in fixed-width form.
@@ -129,6 +151,10 @@ type SessionState struct {
 	// false.
 	Nalpha *graph.Digraph
 	G, GR  *graph.Graph
+	// Battery holds each node's residual energy when the engine has a
+	// battery model (Config.BatteryCapacity > 0); nil otherwise and in
+	// version-2 streams.
+	Battery []float64
 }
 
 // NetworkState is one fleet member's slice of a FleetState.
@@ -151,6 +177,9 @@ type NetworkState struct {
 	// Degree, Radius, Components and Energy are the network's per-tick
 	// accumulator states.
 	Degree, Radius, Components, Energy stats.Stream
+	// Residual and EnergyVar are the battery accumulator states; zero
+	// values in version-2 streams and on members without a battery model.
+	Residual, EnergyVar stats.Stream
 	// Session is the member session's full state.
 	Session SessionState
 }

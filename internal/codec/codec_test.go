@@ -20,6 +20,7 @@ func testConfig() EngineConfig {
 		PathLossExponent: 2,
 		ShrinkBack:       true,
 		ScheduleFactor:   1.5,
+		RefLoss:          1,
 	}
 }
 

@@ -69,6 +69,10 @@ func DecodeFleet(r io.Reader) (*FleetState, error) {
 		d.stream(&n.Radius)
 		d.stream(&n.Components)
 		d.stream(&n.Energy)
+		if d.ver >= 3 {
+			d.stream(&n.Residual)
+			d.stream(&n.EnergyVar)
+		}
 		n.Session.Config = n.Config
 		d.sessionBody(&n.Session)
 		if d.err == nil {
@@ -89,6 +93,9 @@ type decoder struct {
 	r   *bufio.Reader
 	buf [8]byte
 	err error
+	// ver is the stream's format version, set by header; body readers
+	// branch on it to decode the sections older versions lack.
+	ver uint16
 }
 
 func newDecoder(r io.Reader) *decoder {
@@ -200,9 +207,10 @@ func (d *decoder) header(wantKind uint8) error {
 	if d.err != nil {
 		return d.err
 	}
-	if v != Version {
-		return fmt.Errorf("%w: got version %d, support %d", ErrVersion, v, Version)
+	if v < MinVersion || v > Version {
+		return fmt.Errorf("%w: got version %d, support %d–%d", ErrVersion, v, MinVersion, Version)
 	}
+	d.ver = v
 	if kind != wantKind {
 		return fmt.Errorf("%w: got kind %d, want %d", ErrWrongKind, kind, wantKind)
 	}
@@ -225,6 +233,34 @@ func (d *decoder) engineConfig(c *EngineConfig) {
 	c.NonContributing = d.bool("non-contributing")
 	c.PairwisePolicy = d.u8()
 	c.ScheduleFactor = d.f64()
+	if d.ver < 3 {
+		// Version 2 predates the radio-identity fields: the stream was
+		// always the pure power law with unit reference loss, no shadowing
+		// and no battery.
+		c.RefLoss = 1
+		return
+	}
+	c.RefLoss = d.f64()
+	c.RadioKind = d.u8()
+	c.ShadowSigmaDB = d.f64()
+	c.ShadowSeed = d.u64()
+	c.BatteryCapacity = d.f64()
+	c.BatteryDrain = d.f64()
+	if d.err != nil {
+		return
+	}
+	switch {
+	case !finite(c.RefLoss) || c.RefLoss <= 0:
+		d.corrupt("reference loss %v out of range", c.RefLoss)
+	case c.RadioKind > 1:
+		d.corrupt("unknown radio kind %d", c.RadioKind)
+	case !finite(c.ShadowSigmaDB) || c.ShadowSigmaDB < 0:
+		d.corrupt("shadowing sigma %v out of range", c.ShadowSigmaDB)
+	case !finite(c.BatteryCapacity) || c.BatteryCapacity < 0:
+		d.corrupt("battery capacity %v out of range", c.BatteryCapacity)
+	case !finite(c.BatteryDrain) || c.BatteryDrain < 0:
+		d.corrupt("battery drain %v out of range", c.BatteryDrain)
+	}
 }
 
 func (d *decoder) stream(s *stats.Stream) {
@@ -275,6 +311,17 @@ func (d *decoder) sessionBody(st *SessionState) {
 	for _, v := range []int64{st.Stats.Joins, st.Stats.Leaves, st.Stats.Moves, st.Stats.AngleChanges, st.Stats.Regrows, st.Stats.Repairs} {
 		if d.err == nil && v < 0 {
 			d.corrupt("negative session counter %d", v)
+		}
+	}
+
+	if d.ver >= 3 && d.err == nil {
+		if d.bool("battery presence") {
+			st.Battery = d.floats(n, "battery")
+			for i, b := range st.Battery {
+				if d.err == nil && b < 0 {
+					d.corrupt("battery %d negative", i)
+				}
+			}
 		}
 	}
 

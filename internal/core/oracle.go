@@ -27,8 +27,9 @@ type unorderedIndex interface {
 }
 
 // distTieTol is the relative tolerance under which two candidate
-// distances are treated as equal. Equidistant nodes become reachable at
-// the same power, so the growing phase discovers them as one group.
+// distances (or, on the link-dependent path, two candidate link powers)
+// are treated as equal. Equidistant nodes become reachable at the same
+// power, so the growing phase discovers them as one group.
 const distTieTol = 1e-12
 
 // Run executes CBTC(α) on every node under the exact minimal-power
@@ -37,10 +38,13 @@ const distTieTol = 1e-12
 // reachable node, capped at the model's maximum power P (u is then a
 // boundary node).
 //
-// Equivalently: u discovers neighbors in increasing distance order
-// (equidistant nodes as one group) and stops at the first prefix whose
-// direction set has no α-gap.
-func Run(pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+// Equivalently: u discovers neighbors in increasing needed-power order
+// (for the pure power law, increasing distance order; equal-power nodes
+// as one group) and stops at the first prefix whose direction set has no
+// α-gap. The propagation model m decides per-link reachability; the
+// distance-pure power law takes the historical distance-ordered path,
+// bit-identical to when the oracle hardcoded it.
+func Run(pos []geom.Point, m radio.Propagation, alpha float64) (*Execution, error) {
 	return RunContext(context.Background(), pos, m, alpha)
 }
 
@@ -51,23 +55,24 @@ const ctxCheckStride = 16
 
 // RunContext is Run with cooperative cancellation: it polls ctx between
 // node computations and returns ctx.Err() if the context ends before the
-// execution completes. A uniform grid with cell size R is built once over
-// the placement and shared by every per-node candidate gather, making the
-// oracle Θ(n·k) for k in-range neighbors instead of Θ(n²).
-func RunContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+// execution completes. A uniform grid with cell size MaxLinkRadius is
+// built once over the placement and shared by every per-node candidate
+// gather, making the oracle Θ(n·k) for k in-range neighbors instead of
+// Θ(n²).
+func RunContext(ctx context.Context, pos []geom.Point, m radio.Propagation, alpha float64) (*Execution, error) {
 	return runContext(ctx, pos, m, alpha, true, 1)
 }
 
 // RunParallel is RunContext with the per-node computations fanned across
 // a pool of `workers` goroutines (non-positive means GOMAXPROCS; 1 is the
 // serial path). Each node's cone test depends only on the read-only
-// placement and the shared immutable grid, so workers claim chunks of the
-// node range from an atomic counter, keep private gather scratch, and
-// write disjoint Execution slots. The output is identical — edge for
-// edge, bit for bit — at every worker count; only wall-clock changes.
-// Cancellation is polled per worker on its own stride, so latency does
-// not grow with the pool size.
-func RunParallel(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64, workers int) (*Execution, error) {
+// placement, the shared immutable grid and the deterministic propagation
+// model, so workers claim chunks of the node range from an atomic
+// counter, keep private gather scratch, and write disjoint Execution
+// slots. The output is identical — edge for edge, bit for bit — at every
+// worker count; only wall-clock changes. Cancellation is polled per
+// worker on its own stride, so latency does not grow with the pool size.
+func RunParallel(ctx context.Context, pos []geom.Point, m radio.Propagation, alpha float64, workers int) (*Execution, error) {
 	return runContext(ctx, pos, m, alpha, true, workers)
 }
 
@@ -75,21 +80,21 @@ func RunParallel(ctx context.Context, pos []geom.Point, m radio.Model, alpha flo
 // gather scans the full placement. It is the reference implementation the
 // naive-vs-grid equivalence tests and benchmarks compare against; both
 // paths produce identical Executions.
-func RunNaive(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64) (*Execution, error) {
+func RunNaive(ctx context.Context, pos []geom.Point, m radio.Propagation, alpha float64) (*Execution, error) {
 	return runContext(ctx, pos, m, alpha, false, 1)
 }
 
-func runContext(ctx context.Context, pos []geom.Point, m radio.Model, alpha float64, indexed bool, workers int) (*Execution, error) {
+func runContext(ctx context.Context, pos []geom.Point, m radio.Propagation, alpha float64, indexed bool, workers int) (*Execution, error) {
 	if err := validateInput(pos, m, alpha); err != nil {
 		return nil, err
 	}
 	var idx Index
 	if indexed {
-		idx = spatial.New(pos, m.MaxRadius)
+		idx = spatial.New(pos, m.MaxLinkRadius())
 	}
 	exec := &Execution{
 		Alpha: alpha,
-		Model: m,
+		Model: m.Nominal(),
 		Pos:   append([]geom.Point(nil), pos...),
 		Nodes: make([]NodeResult, len(pos)),
 	}
@@ -115,16 +120,17 @@ type NodeRunner struct {
 
 // RunNode computes N_α(u) exactly as the package-level RunNode does,
 // reusing the runner's scratch buffers.
-func (r *NodeRunner) RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index) NodeResult {
+func (r *NodeRunner) RunNode(pos []geom.Point, alive []bool, m radio.Propagation, alpha float64, u int, idx Index) NodeResult {
 	return runNode(pos, alive, m, alpha, u, idx, &r.scr)
 }
 
 // gatherScratch holds the per-node gather buffers RunContext reuses
 // across nodes; nothing stored in it outlives a single runNode call.
 type gatherScratch struct {
-	ids   []int
-	cands []candidate
-	dirs  []float64
+	ids    []int
+	cands  []candidate
+	lcands []linkCandidate
+	dirs   []float64
 }
 
 // candidate is a node reachable at maximum power, ordered by distance.
@@ -135,18 +141,40 @@ type candidate struct {
 	dist float64
 }
 
+// linkCandidate is the link-dependent path's candidate: under per-link
+// propagation, discovery order is needed-power order, which no longer
+// coincides with distance order.
+type linkCandidate struct {
+	id   int
+	dist float64
+	need float64
+}
+
 // RunNode computes N_α(u) for a single node under the minimal-power
 // semantics, considering only nodes v with alive[v] as candidates (a nil
 // mask means every node is alive). The per-node form is what incremental
 // §4 reconfiguration uses: after a join/leave/move, only the nodes whose
 // candidate set changed need recomputing. The candidate provider idx
-// restricts the gather to nodes within R of u; nil falls back to a full
-// placement scan. Both paths admit exactly the same candidates.
-func RunNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index) NodeResult {
+// restricts the gather to nodes within MaxLinkRadius of u; nil falls
+// back to a full placement scan. Both paths admit exactly the same
+// candidates.
+func RunNode(pos []geom.Point, alive []bool, m radio.Propagation, alpha float64, u int, idx Index) NodeResult {
 	return runNode(pos, alive, m, alpha, u, idx, &gatherScratch{})
 }
 
-func runNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index, scr *gatherScratch) NodeResult {
+// runNode dispatches on the model's purity: the distance-pure power law
+// takes the historical hot path on the concrete nominal model — zero
+// per-candidate interface dispatch, arithmetic bit-identical to the
+// pre-interface oracle — while link-dependent models take the
+// need-ordered path with per-link admission.
+func runNode(pos []geom.Point, alive []bool, m radio.Propagation, alpha float64, u int, idx Index, scr *gatherScratch) NodeResult {
+	if m.DistancePure() {
+		return runNodePure(pos, alive, m.Nominal(), alpha, u, idx, scr)
+	}
+	return runNodeLink(pos, alive, m, alpha, u, idx, scr)
+}
+
+func runNodePure(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int, idx Index, scr *gatherScratch) NodeResult {
 	cands := reachableCandidates(pos, alive, m, u, idx, scr)
 
 	neighbors := make([]Discovery, 0, len(cands))
@@ -187,6 +215,52 @@ func runNode(pos []geom.Point, alive []bool, m radio.Model, alpha float64, u int
 	}
 	// Exhausted all reachable nodes with an α-gap remaining: u is a
 	// boundary node and has been broadcasting at maximum power.
+	return NodeResult{
+		Neighbors: neighbors,
+		GrowPower: m.MaxPower(),
+		Boundary:  true,
+	}
+}
+
+// runNodeLink is the growing phase under link-dependent propagation:
+// candidates are admitted per link, ordered by needed power, and grouped
+// by (approximately) equal need — the power at which they all become
+// reachable. Discovery.Power carries the group's needed power, so the
+// quantized-tag and reconfiguration machinery downstream see the same
+// shape the pure path produces.
+func runNodeLink(pos []geom.Point, alive []bool, m radio.Propagation, alpha float64, u int, idx Index, scr *gatherScratch) NodeResult {
+	cands := linkCandidates(pos, alive, m, u, idx, scr)
+
+	neighbors := make([]Discovery, 0, len(cands))
+	dirs := scr.dirs[:0]
+	defer func() { scr.dirs = dirs[:0] }()
+
+	i := 0
+	for i < len(cands) {
+		groupEnd := i + 1
+		for groupEnd < len(cands) && sameDist(cands[groupEnd].need, cands[i].need) {
+			groupEnd++
+		}
+		groupPower := cands[groupEnd-1].need
+		for ; i < groupEnd; i++ {
+			c := cands[i]
+			dir := pos[u].Bearing(pos[c.id])
+			neighbors = append(neighbors, Discovery{
+				ID:    c.id,
+				Dist:  c.dist,
+				Dir:   dir,
+				Power: groupPower,
+			})
+			dirs = geom.InsertSorted(dirs, dir)
+		}
+		if !geom.HasGapSorted(dirs, alpha) {
+			return NodeResult{
+				Neighbors: neighbors,
+				GrowPower: groupPower,
+				Boundary:  false,
+			}
+		}
+	}
 	return NodeResult{
 		Neighbors: neighbors,
 		GrowPower: m.MaxPower(),
@@ -245,6 +319,60 @@ func reachableCandidates(pos []geom.Point, alive []bool, m radio.Model, u int, i
 	return out
 }
 
+// linkCandidates returns the live nodes whose link to u is establishable
+// at maximum power under link-dependent propagation, sorted by
+// (need, dist, id). The grid query is widened to the model's conservative
+// MaxLinkRadius bound and the exact per-link predicate re-applied, so the
+// indexed and naive paths admit identical candidate sets.
+func linkCandidates(pos []geom.Point, alive []bool, m radio.Propagation, u int, idx Index, scr *gatherScratch) []linkCandidate {
+	rr := m.MaxLinkRadius() * (1 + distTieTol)
+	out := scr.lcands[:0]
+	admit := func(v int, pv geom.Point) {
+		if v == u || (alive != nil && !alive[v]) {
+			return
+		}
+		d := pos[u].Dist(pv)
+		if d <= rr && m.LinkInRange(u, v, d) {
+			out = append(out, linkCandidate{id: v, dist: d, need: m.LinkPower(u, v, d)})
+		}
+	}
+	switch {
+	case idx == nil:
+		for v, pv := range pos {
+			admit(v, pv)
+		}
+	default:
+		qr := rr * (1 + spatial.QuerySlack)
+		if g, ok := idx.(unorderedIndex); ok {
+			scr.ids = g.AppendWithinUnordered(scr.ids[:0], pos[u], qr)
+		} else {
+			scr.ids = append(scr.ids[:0], idx.Within(pos[u], qr)...)
+		}
+		for _, v := range scr.ids {
+			admit(v, pos[v])
+		}
+	}
+	scr.lcands = out[:0]
+	// (need, dist, id) is a strict total order — ids are distinct — so
+	// the discovery sequence is unique and worker-count invariant.
+	slices.SortFunc(out, func(a, b linkCandidate) int {
+		if a.need != b.need {
+			if a.need < b.need {
+				return -1
+			}
+			return 1
+		}
+		if a.dist != b.dist {
+			if a.dist < b.dist {
+				return -1
+			}
+			return 1
+		}
+		return a.id - b.id
+	})
+	return out
+}
+
 func sameDist(a, b float64) bool {
 	diff := a - b
 	if diff < 0 {
@@ -258,27 +386,31 @@ func sameDist(a, b float64) bool {
 }
 
 // MaxPowerGraph returns G_R: the graph induced by every node transmitting
-// with maximum power, i.e. edges between all pairs at distance ≤ R. It
-// builds a throwaway grid over the placement, replacing the quadratic
-// all-pairs scan with per-node radius queries; MaxPowerGraphIndexed
-// accepts a caller-maintained index instead.
-func MaxPowerGraph(pos []geom.Point, m radio.Model) *graph.Graph {
-	return MaxPowerGraphIndexed(pos, m, spatial.New(pos, m.MaxRadius))
+// with maximum power — for the pure power law, edges between all pairs at
+// distance ≤ R; for link-dependent models, pairs whose link is
+// establishable at maximum power. It builds a throwaway grid over the
+// placement, replacing the quadratic all-pairs scan with per-node radius
+// queries; MaxPowerGraphIndexed accepts a caller-maintained index
+// instead.
+func MaxPowerGraph(pos []geom.Point, m radio.Propagation) *graph.Graph {
+	return MaxPowerGraphIndexed(pos, m, spatial.New(pos, m.MaxLinkRadius()))
 }
 
 // MaxPowerGraphIndexed is MaxPowerGraph over a caller-supplied candidate
 // index (nil falls back to the naive all-pairs scan). The edge set is
-// identical on both paths: the index pre-filters and the exact distance
+// identical on both paths: the index pre-filters and the exact per-link
 // predicate decides. Both paths emit per-node ascending half rows, so
 // the graph is bulk-built into one packed arena instead of edge by edge.
-func MaxPowerGraphIndexed(pos []geom.Point, m radio.Model, idx Index) *graph.Graph {
+func MaxPowerGraphIndexed(pos []geom.Point, m radio.Propagation, idx Index) *graph.Graph {
 	rows := make([][]int32, len(pos))
-	rr, _ := maxPowerRadii(m)
 	if idx == nil {
+		rr, _ := maxPowerRadii(m)
+		pure := m.DistancePure()
 		for u := 0; u < len(pos); u++ {
 			var row []int32
 			for v := u + 1; v < len(pos); v++ {
-				if pos[u].Dist(pos[v]) <= rr {
+				d := pos[u].Dist(pos[v])
+				if d <= rr && (pure || m.LinkInRange(u, v, d)) {
 					row = append(row, int32(v))
 				}
 			}
@@ -309,14 +441,14 @@ func MaxPowerGraphIndexed(pos []geom.Point, m radio.Model, idx Index) *graph.Gra
 // parallel over the read-only grid; the edge assembly is a cheap serial
 // pass, so the graph is identical to the serial build at every worker
 // count.
-func MaxPowerGraphParallel(pos []geom.Point, m radio.Model, workers int) *graph.Graph {
-	return MaxPowerGraphParallelIndexed(pos, m, spatial.New(pos, m.MaxRadius), workers)
+func MaxPowerGraphParallel(pos []geom.Point, m radio.Propagation, workers int) *graph.Graph {
+	return MaxPowerGraphParallelIndexed(pos, m, spatial.New(pos, m.MaxLinkRadius()), workers)
 }
 
 // MaxPowerGraphParallelIndexed is MaxPowerGraphParallel over a
 // caller-supplied candidate index (Sessions pass their live-node grid to
 // avoid rebuilding one over the same placement).
-func MaxPowerGraphParallelIndexed(pos []geom.Point, m radio.Model, idx Index, workers int) *graph.Graph {
+func MaxPowerGraphParallelIndexed(pos []geom.Point, m radio.Propagation, idx Index, workers int) *graph.Graph {
 	workers = ResolveWorkers(workers, len(pos))
 	if workers <= 1 {
 		return MaxPowerGraphIndexed(pos, m, idx)
@@ -344,27 +476,41 @@ func MaxPowerGraphParallelIndexed(pos []geom.Point, m radio.Model, idx Index, wo
 // maximum-power range of pos[u] — exactly the nodes MaxPowerGraph would
 // connect to u. Sessions use it to maintain their ground-truth G_R
 // incrementally instead of rebuilding the full graph per snapshot.
-func AppendMaxPowerNeighbors(dst []int, pos []geom.Point, m radio.Model, u int, idx Index) []int {
+func AppendMaxPowerNeighbors(dst []int, pos []geom.Point, m radio.Propagation, u int, idx Index) []int {
 	return appendMaxPowerNeighbors(dst, pos, m, u, idx)
 }
 
 // maxPowerRadii is the single source of the max-power reachability
-// predicate's radii: the tolerance-carrying exact radius rr, and the
-// slack-widened query radius qr whose superset the exact `dist ≤ rr`
-// recheck filters. Every G_R construction site must derive its
-// candidates from these two values, or the incrementally-maintained
-// session G_R would drift from the from-scratch builds.
-func maxPowerRadii(m radio.Model) (rr, qr float64) {
-	rr = m.MaxRadius * (1 + distTieTol)
+// predicate's radii: the tolerance-carrying exact distance bound rr, and
+// the slack-widened query radius qr whose superset the exact recheck
+// filters. Every G_R construction site must derive its candidates from
+// these two values, or the incrementally-maintained session G_R would
+// drift from the from-scratch builds. For distance-pure models `dist ≤
+// rr` IS the edge predicate; link-dependent models additionally apply
+// LinkInRange per candidate.
+func maxPowerRadii(m radio.Propagation) (rr, qr float64) {
+	rr = m.MaxLinkRadius() * (1 + distTieTol)
 	return rr, rr * (1 + spatial.QuerySlack)
 }
 
-// appendMaxPowerNeighbors appends every indexed v ≠ u with
-// Dist(u, v) ≤ rr, in the index's ascending-id order.
-func appendMaxPowerNeighbors(dst []int, pos []geom.Point, m radio.Model, u int, idx Index) []int {
+// appendMaxPowerNeighbors appends every indexed v ≠ u whose link to u is
+// establishable at maximum power, in the index's ascending-id order.
+func appendMaxPowerNeighbors(dst []int, pos []geom.Point, m radio.Propagation, u int, idx Index) []int {
 	rr, qr := maxPowerRadii(m)
+	if m.DistancePure() {
+		for _, v := range idx.Within(pos[u], qr) {
+			if v != u && pos[u].Dist(pos[v]) <= rr {
+				dst = append(dst, v)
+			}
+		}
+		return dst
+	}
 	for _, v := range idx.Within(pos[u], qr) {
-		if v != u && pos[u].Dist(pos[v]) <= rr {
+		if v == u {
+			continue
+		}
+		d := pos[u].Dist(pos[v])
+		if d <= rr && m.LinkInRange(u, v, d) {
 			dst = append(dst, v)
 		}
 	}

@@ -96,7 +96,8 @@ func (nr *NodeResult) Directions() []float64 {
 type Execution struct {
 	// Alpha is the cone angle the algorithm ran with.
 	Alpha float64
-	// Model is the radio model in effect.
+	// Model is the nominal power-law radio model in effect (the Nominal()
+	// of the propagation model the execution ran under).
 	Model radio.Model
 	// Pos holds node positions; node i is Pos[i].
 	Pos []geom.Point
@@ -157,9 +158,12 @@ func validateAlpha(alpha float64) error {
 	return nil
 }
 
-func validateInput(pos []geom.Point, m radio.Model, alpha float64) error {
+func validateInput(pos []geom.Point, m radio.Propagation, alpha float64) error {
 	if err := validateAlpha(alpha); err != nil {
 		return err
+	}
+	if m == nil {
+		return fmt.Errorf("%w: nil propagation model", ErrBadInput)
 	}
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadInput, err)

@@ -27,8 +27,13 @@ func (c *Context) ID() int { return c.id }
 // Now returns the current simulation time.
 func (c *Context) Now() float64 { return c.sim.now }
 
-// Model returns the radio model.
-func (c *Context) Model() radio.Model { return c.sim.opts.Model }
+// Model returns the nominal power-law radio model: the power curve
+// node-side protocol logic (power schedules, distance estimation) runs
+// on. Per-link propagation effects live in the simulator's delivery
+// decisions, which is exactly the information asymmetry of a real
+// deployment — nodes know their hardware's nominal curve, not the
+// channel realization.
+func (c *Context) Model() radio.Model { return c.sim.opts.Model.Nominal() }
 
 // Rand returns the simulation PRNG. Processes must draw randomness only
 // from here to keep runs reproducible.

@@ -61,14 +61,15 @@ func runFlood(t *testing.T, pos []geom.Point, opts Options) ([]string, Stats, []
 		t.Fatal(err)
 	}
 	var log []string
+	nominal := opts.Model.Nominal()
 	for i := range pos {
-		sim.SetProcess(i, &flooder{model: opts.Model, log: &log})
+		sim.SetProcess(i, &flooder{model: nominal, log: &log})
 	}
 	sim.ScheduleAt(2, func() { sim.Crash(1) })
-	sim.ScheduleAt(4, func() { sim.MoveNode(0, geom.Pt(pos[0].X+opts.Model.MaxRadius/2, pos[0].Y)) })
+	sim.ScheduleAt(4, func() { sim.MoveNode(0, geom.Pt(pos[0].X+nominal.MaxRadius/2, pos[0].Y)) })
 	sim.ScheduleAt(5, func() {
 		id := sim.AddNode(geom.Pt(pos[2].X+1, pos[2].Y+1))
-		sim.SetProcess(id, &flooder{model: opts.Model, log: &log})
+		sim.SetProcess(id, &flooder{model: nominal, log: &log})
 	})
 	sim.Run(60)
 	energies := make([]float64, sim.Len())

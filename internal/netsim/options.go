@@ -23,8 +23,10 @@ var ErrBadOptions = errors.New("netsim: invalid options")
 // Options configures the simulator.
 type Options struct {
 	// Model is the propagation model; delivery succeeds iff the
-	// transmission power reaches the receiver's distance.
-	Model radio.Model
+	// transmission power establishes the sender→receiver link. Any
+	// radio.Propagation works — the power-law radio.Model for the paper's
+	// uniform world, radio.LogDistance for per-link shadowing.
+	Model radio.Propagation
 	// Latency is the fixed portion of the delivery delay.
 	Latency float64
 	// Jitter adds a uniform random delay in [0, Jitter) per delivery.
@@ -54,6 +56,9 @@ func DefaultOptions(m radio.Model) Options {
 
 // Validate checks the options.
 func (o Options) Validate() error {
+	if o.Model == nil {
+		return fmt.Errorf("%w: nil propagation model", ErrBadOptions)
+	}
 	if err := o.Model.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadOptions, err)
 	}

@@ -190,7 +190,7 @@ func New(pos []geom.Point, opts Options) (*Sim, error) {
 	}
 	s.cbuf.sim = s
 	if !opts.NaiveDelivery {
-		s.grid = spatial.New(s.pos, opts.Model.MaxRadius)
+		s.grid = spatial.New(s.pos, opts.Model.MaxLinkRadius())
 	}
 	return s, nil
 }
@@ -233,8 +233,12 @@ func (s *Sim) Position(id int) geom.Point {
 	return s.pos[id]
 }
 
-// Model returns the radio model in effect.
-func (s *Sim) Model() radio.Model { return s.opts.Model }
+// Model returns the nominal power-law radio model in effect. The full
+// propagation model (with any per-link effects) is Propagation.
+func (s *Sim) Model() radio.Model { return s.opts.Model.Nominal() }
+
+// Propagation returns the propagation model in effect.
+func (s *Sim) Propagation() radio.Propagation { return s.opts.Model }
 
 // Stats returns activity counters.
 func (s *Sim) Stats() Stats { return s.stats }
@@ -413,10 +417,11 @@ func (s *Sim) transmit(from int, txPower float64, payload interface{}, only int)
 		}
 		return
 	}
-	// Model.Reaches carries a 1e-12-scale relative power tolerance, so the
-	// query radius is widened by QuerySlack and the exact predicate
-	// re-applied in maybeDeliver — the candidate set is a tight superset.
-	reach := s.opts.Model.RangeFor(txPower) * (1 + spatial.QuerySlack)
+	// LinkReaches carries a 1e-12-scale relative power tolerance, so the
+	// model's conservative RangeBound is widened by QuerySlack and the
+	// exact per-link predicate re-applied in maybeDeliver — the candidate
+	// set is a tight superset.
+	reach := s.opts.Model.RangeBound(txPower) * (1 + spatial.QuerySlack)
 	s.scratch = s.grid.AppendWithin(s.scratch[:0], s.pos[from], reach)
 	for _, to := range s.scratch {
 		if to == from || s.crashed[to] || s.procs[to] == nil {
@@ -432,7 +437,7 @@ func (s *Sim) transmit(from int, txPower float64, payload interface{}, only int)
 // the reachability check, preserving the naive scan's draw sequence.
 func (s *Sim) maybeDeliver(from, to int, txPower float64, payload interface{}) {
 	d := s.pos[from].Dist(s.pos[to])
-	if !s.opts.Model.Reaches(txPower, d) {
+	if !s.opts.Model.LinkReaches(from, to, txPower, d) {
 		return
 	}
 	if s.opts.DropProb > 0 && s.rng.Float64() < s.opts.DropProb {
@@ -462,7 +467,7 @@ func (s *Sim) deliverOnce(from, to int, txPower, dist float64, payload interface
 		del: Delivery{
 			From:    from,
 			TxPower: txPower,
-			RxPower: s.opts.Model.ReceivedPower(txPower, dist),
+			RxPower: s.opts.Model.LinkRxPower(from, to, txPower, dist),
 			Bearing: bearing,
 			Payload: payload,
 		},

@@ -28,8 +28,10 @@ func Start(pos []geom.Point, simOpts netsim.Options, cfg Config) (*Runtime, erro
 	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults(simOpts.Model, simOpts.MaxDelay())
-	if err := cfg.Validate(simOpts.Model); err != nil {
+	// Node-side defaults derive from the nominal hardware curve: protocol
+	// logic never sees per-link channel effects.
+	cfg = cfg.withDefaults(simOpts.Model.Nominal(), simOpts.MaxDelay())
+	if err := cfg.Validate(simOpts.Model.Nominal()); err != nil {
 		return nil, err
 	}
 	nodes := make([]*Node, len(pos))
@@ -63,7 +65,7 @@ func RunCBTCContext(ctx context.Context, pos []geom.Point, simOpts netsim.Option
 		rt.Sim.SetInterrupt(func() bool { return ctx.Err() != nil })
 	}
 	// Generous convergence budget: rounds × duration plus message slack.
-	limit := 10000 * (cfg.withDefaults(simOpts.Model, simOpts.MaxDelay()).RoundDuration + simOpts.MaxDelay())
+	limit := 10000 * (cfg.withDefaults(simOpts.Model.Nominal(), simOpts.MaxDelay()).RoundDuration + simOpts.MaxDelay())
 	if err := rt.Sim.RunUntilQuiet(limit); err != nil {
 		if errors.Is(err, netsim.ErrInterrupted) && ctx.Err() != nil {
 			return nil, nil, ctx.Err()

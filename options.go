@@ -1,5 +1,7 @@
 package cbtc
 
+import "cbtc/internal/radio"
+
 // settings accumulates functional options before New validates them
 // into an immutable Engine.
 type settings struct {
@@ -7,6 +9,29 @@ type settings struct {
 	allOpts        bool
 	scheduleFactor float64
 	workers        int
+
+	// model is the explicit nominal radio model from WithRadioModel; nil
+	// means derive it from the Config radio fields the legacy way. The
+	// used* flags record which surface supplied radio parameters so New
+	// can reject conflicting combinations with one ErrBadConfig.
+	model         *radio.Model
+	usedPathLoss  bool
+	usedMaxRadius bool
+	usedConfig    bool
+	// refLoss carries a non-unit reference loss through Engine.derive,
+	// where the base radio is reopened as Config fields (which cannot
+	// express it). Zero means "whatever resolve produces".
+	refLoss float64
+
+	// shadowing (WithShadowing)
+	useShadow   bool
+	shadowSigma float64
+	shadowSeed  uint64
+
+	// battery (WithBattery)
+	useBattery   bool
+	batteryCap   float64
+	batteryDrain float64
 }
 
 // Option configures an Engine under construction. Options only record
@@ -18,7 +43,12 @@ type Option func(*settings)
 // the migration path for code that already assembles Config values;
 // options applied after it override individual fields.
 func WithConfig(cfg Config) Option {
-	return func(s *settings) { s.cfg = cfg }
+	return func(s *settings) {
+		s.cfg = cfg
+		if cfg.MaxRadius != 0 || cfg.PathLossExponent != 0 {
+			s.usedConfig = true
+		}
+	}
 }
 
 // WithAlpha sets the cone angle in radians. Zero means AlphaConnectivity
@@ -28,15 +58,85 @@ func WithAlpha(alpha float64) Option {
 }
 
 // WithMaxRadius sets R, the distance reachable at maximum power.
-// Required unless supplied through WithConfig.
+// Required unless the radio is supplied through WithRadioModel or
+// WithConfig.
+//
+// Deprecated: new code should describe the radio with
+// WithRadioModel(RadioModel{...}); WithMaxRadius(r) is equivalent to
+// WithRadioModel with Exponent 2 (or the WithPathLoss value) and
+// RefLoss 1. The shim remains fully supported but cannot be combined
+// with WithRadioModel.
 func WithMaxRadius(r float64) Option {
-	return func(s *settings) { s.cfg.MaxRadius = r }
+	return func(s *settings) {
+		s.cfg.MaxRadius = r
+		s.usedMaxRadius = true
+	}
 }
 
 // WithPathLoss sets the power-law path-loss exponent n in p(d) = d^n.
 // Zero means 2 (free space); realistic terrestrial environments use 2–4.
+//
+// Deprecated: new code should describe the radio with
+// WithRadioModel(RadioModel{...}), which also exposes the reference
+// loss. The shim remains fully supported but cannot be combined with
+// WithRadioModel.
 func WithPathLoss(exponent float64) Option {
-	return func(s *settings) { s.cfg.PathLossExponent = exponent }
+	return func(s *settings) {
+		s.cfg.PathLossExponent = exponent
+		s.usedPathLoss = true
+	}
+}
+
+// RadioModel is the nominal power-law radio model: reaching distance d
+// costs power RefLoss·d^Exponent, and MaxRadius is the distance
+// reachable at maximum power. It aliases the internal propagation type
+// so callers outside the module can construct one for WithRadioModel;
+// New validates the fields (Exponent ≥ 1, positive finite MaxRadius and
+// RefLoss) and rejects bad values with ErrBadConfig.
+type RadioModel = radio.Model
+
+// WithRadioModel installs the nominal power-law radio model wholesale —
+// exponent, maximum radius and reference loss — replacing the piecemeal
+// WithMaxRadius/WithPathLoss surface. Combining it with those options
+// (or with a WithConfig carrying radio fields) is a configuration
+// conflict New rejects with ErrBadConfig.
+func WithRadioModel(m RadioModel) Option {
+	return func(s *settings) {
+		mc := m
+		s.model = &mc
+	}
+}
+
+// WithShadowing replaces the uniform power law with a deterministic
+// log-distance model: each link (u, v) carries a shadowing term in
+// [−sigmaDB, +sigmaDB] decibels hashed from (seed, u, v), perturbing the
+// power the link needs. The nominal model (WithRadioModel or the legacy
+// radio options) remains the hardware curve — maximum power, schedules
+// and node-side distance estimation still derive from it. Zero sigmaDB
+// is valid and degenerates to the nominal law.
+func WithShadowing(sigmaDB float64, seed uint64) Option {
+	return func(s *settings) {
+		s.useShadow = true
+		s.shadowSigma = sigmaDB
+		s.shadowSeed = seed
+	}
+}
+
+// WithBattery gives every node a battery of the given capacity (energy
+// units) and enables per-tick drain in Sessions and Fleets: each tick a
+// live node is charged drain × p(radius) — its transmit power at the
+// installed broadcast radius scaled by the drain coefficient — and a
+// node whose battery empties dies (Sessions surface it via Depleted;
+// LifetimeTick converts deaths into Leave events). Capacity must be
+// positive and drain non-negative; battery accounting requires the
+// incremental session stack, so combining it with pairwise edge removal
+// is rejected by New.
+func WithBattery(capacity, drain float64) Option {
+	return func(s *settings) {
+		s.useBattery = true
+		s.batteryCap = capacity
+		s.batteryDrain = drain
+	}
 }
 
 // WithShrinkBack enables optimization 1 (§3.1): after the growing phase

@@ -68,6 +68,40 @@ func newResultWithGR(nodes []Point, m radio.Model, topo *core.Topology, gr *Grap
 	return r
 }
 
+// newResultFromRadii is newResultWithGR for callers that already
+// maintain the per-node radius table of topo.G — sessions fold their
+// incremental radius cache here instead of rescanning every adjacency
+// row. radii[u] must equal graph.NodeRadius(topo.G, nodes, u) for every
+// slot; the summary statistics are then derived with the same summation
+// order as Topology.Summarize, so the Result is bitwise identical to the
+// from-scratch path, just without its O(edges) radius pass.
+func newResultFromRadii(nodes []Point, m radio.Model, topo *core.Topology, gr *Graph, radii []float64) *Result {
+	n := len(nodes)
+	r := &Result{
+		G:        topo.G,
+		GR:       gr,
+		Pos:      append([]Point(nil), nodes...),
+		Radii:    append([]float64(nil), radii...),
+		Powers:   make([]float64, n),
+		Boundary: make([]bool, n),
+		topo:     topo,
+		model:    m,
+	}
+	for u := 0; u < n; u++ {
+		r.Powers[u] = topo.Exec.Nodes[u].GrowPower
+		r.Boundary[u] = topo.Exec.Nodes[u].Boundary
+	}
+	r.AvgDegree = graph.AvgDegree(topo.G)
+	if n > 0 {
+		var sum float64
+		for _, rad := range radii {
+			sum += rad
+		}
+		r.AvgRadius = sum / float64(n)
+	}
+	return r
+}
+
 // Components returns the number of connected components of G.
 func (r *Result) Components() int { return graph.ComponentCount(r.G) }
 

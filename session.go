@@ -90,6 +90,15 @@ type Session struct {
 	// is in the current set iff mark[u] == markGen.
 	mark    []int
 	markGen int
+
+	// Battery state, allocated only for engines built WithBattery (which
+	// implies the incremental stack). battery[u] is node u's residual
+	// energy; Tick drains each live node by drain × p(radius[u]) and
+	// clamps at zero. Observe folds the residual moments in one ascending
+	// pass — a pure function of (battery, alive), so restored sessions
+	// observe bitwise-identically — which stays within the battery tick's
+	// cost model: the drain itself is already Θ(live) per tick.
+	battery []float64
 }
 
 // SessionStats aggregates the reconfiguration activity a Session has
@@ -129,7 +138,7 @@ func (e *Engine) NewSession(ctx context.Context, nodes []Point) (*Session, error
 // newSession is NewSession with an explicit worker budget; fleets pin
 // their shards' sessions to the shard plan's inner budget.
 func (e *Engine) newSession(ctx context.Context, nodes []Point, workers int) (*Session, error) {
-	exec, err := core.RunParallel(ctx, nodes, e.model, e.cfg.Alpha, workers)
+	exec, err := core.RunParallel(ctx, nodes, e.prop, e.cfg.Alpha, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -176,8 +185,14 @@ func (e *Engine) sessionFromExec(ctx context.Context, nodes []Point, exec *core.
 		alive:       make([]bool, len(nodes)),
 		nodes:       exec.Nodes,
 		recs:        make([]*core.Reconfigurator, len(nodes)),
-		idx:         spatial.New(nodes, e.model.MaxRadius),
+		idx:         spatial.New(nodes, e.prop.MaxLinkRadius()),
 		incremental: !e.opts.PairwiseRemoval,
+	}
+	if e.battery {
+		s.battery = make([]float64, len(nodes))
+		for i := range s.battery {
+			s.battery[i] = e.batteryCap
+		}
 	}
 	for i := range nodes {
 		s.alive[i] = true
@@ -206,7 +221,7 @@ func (e *Engine) sessionFromExec(ctx context.Context, nodes []Point, exec *core.
 			s.g = s.nalpha.SymmetricClosure()
 		}
 		// Reuse the session's own grid — it indexes exactly these nodes.
-		s.gr = core.MaxPowerGraphParallelIndexed(nodes, e.model, s.idx, workers)
+		s.gr = core.MaxPowerGraphParallelIndexed(nodes, e.prop, s.idx, workers)
 		s.comps = graph.NewLiveComponents(s.g, s.alive)
 		s.radius = make([]float64, n)
 		if err := core.ParallelRange(ctx, n, pruneWorkers, func(_, u int) {
@@ -318,6 +333,9 @@ func (s *Session) admit(p Point) int {
 		s.comps.Join(id)
 		s.radius = append(s.radius, 0)
 	}
+	if s.battery != nil {
+		s.battery = append(s.battery, s.eng.batteryCap)
+	}
 	s.stats.Joins++
 	return id
 }
@@ -376,11 +394,16 @@ func (s *Session) observeLeave(id int, observers []int, rep *EventReport) {
 // left, a joinᵤ for those it approached. Observers without a state
 // machine yet treat a reachable mover as a joinᵤ.
 func (s *Session) observeMove(id int, p Point, observers []int, rep *EventReport) {
-	r := s.eng.model.MaxRadius * (1 + rangeSlack)
+	prop := s.eng.prop
+	pure := prop.DistancePure()
+	r := prop.MaxLinkRadius() * (1 + rangeSlack)
 	for _, u := range observers {
 		rc := s.recs[u]
 		was := rc != nil && rc.Has(id)
-		reaches := s.pos[u].Dist(p) <= r
+		d := s.pos[u].Dist(p)
+		// Pure models keep the historical slack-widened distance test;
+		// link models re-check the exact per-link range predicate.
+		reaches := d <= r && (pure || prop.LinkInRange(u, id, d))
 		switch {
 		case was && reaches:
 			rep.AngleChanges++
@@ -416,7 +439,7 @@ func (s *Session) applyStats(rep *EventReport) {
 // holds exactly the live nodes, so the incremental graph stays equal to
 // a fresh MaxPowerGraph with departed nodes isolated.
 func (s *Session) patchGR(id int) {
-	s.grScratch = core.AppendMaxPowerNeighbors(s.grScratch[:0], s.pos, s.eng.model, id, s.idx)
+	s.grScratch = core.AppendMaxPowerNeighbors(s.grScratch[:0], s.pos, s.eng.prop, id, s.idx)
 	for _, v := range s.grScratch {
 		s.gr.AddEdge(id, v)
 	}
@@ -467,7 +490,11 @@ func (s *Session) snapshotLocked() (*Result, error) {
 			Gpre:   g, // equal when pairwise removal is off, as in BuildTopology
 			Opts:   s.eng.opts,
 		}
-		s.cached = newResultWithGR(s.pos, s.eng.model, topo, s.gr.Clone())
+		// The radius cache already holds NodeRadius(g, pos, u) for every
+		// slot (0 for departed nodes), so the snapshot folds it instead of
+		// re-deriving the radius/degree tables from scratch — the assembled
+		// Result is bitwise identical either way.
+		s.cached = newResultFromRadii(s.pos, s.eng.model, topo, s.gr.Clone(), s.radius)
 		return s.cached, nil
 	}
 	exec := &core.Execution{
@@ -514,6 +541,14 @@ type TickStats struct {
 	// Energy is the summed growing-phase power p_{u,α} of live nodes —
 	// the §5 energy figure of merit.
 	Energy float64
+	// Residual is the mean residual battery over live nodes; zero when
+	// the engine has no battery model.
+	Residual float64
+	// EnergyVar is the population variance of residual battery over live
+	// nodes — the balance figure of merit of the lifetime workloads: a
+	// topology that drains evenly keeps it low. Zero without a battery
+	// model.
+	EnergyVar float64
 }
 
 // TickSeries accumulates a TickStats series through mergeable streaming
@@ -525,6 +560,9 @@ type TickSeries struct {
 	// Degree, Radius, Components and Energy stream the corresponding
 	// TickStats fields, one observation per recorded tick.
 	Degree, Radius, Components, Energy stats.Stream
+	// Residual and EnergyVar stream the battery fields of TickStats; on
+	// engines without a battery model they observe zeros.
+	Residual, EnergyVar stats.Stream
 }
 
 // Observe folds one tick's stats into the series.
@@ -533,6 +571,8 @@ func (ts *TickSeries) Observe(s TickStats) {
 	ts.Radius.Add(s.AvgRadius)
 	ts.Components.Add(float64(s.Components))
 	ts.Energy.Add(s.Energy)
+	ts.Residual.Add(s.Residual)
+	ts.EnergyVar.Add(s.EnergyVar)
 }
 
 // Merge folds another series into this one. Merging in a fixed order
@@ -542,6 +582,8 @@ func (ts *TickSeries) Merge(o *TickSeries) {
 	ts.Radius.Merge(&o.Radius)
 	ts.Components.Merge(&o.Components)
 	ts.Energy.Merge(&o.Energy)
+	ts.Residual.Merge(&o.Residual)
+	ts.EnergyVar.Merge(&o.EnergyVar)
 }
 
 // Observe computes the session's current TickStats. For engines whose
@@ -582,7 +624,102 @@ func (s *Session) observeLocked() (TickStats, error) {
 		ts.AvgDegree = 2 * float64(ts.Edges) / float64(ts.Live)
 		ts.AvgRadius /= float64(ts.Live)
 	}
+	s.observeBattery(&ts)
 	return ts, nil
+}
+
+// observeBattery fills the battery fields of ts by folding the residual
+// moments over live nodes in ascending order — a pure function of the
+// battery and liveness vectors, so a restored session observes
+// bitwise-identical values. The Θ(live) pass only exists on battery
+// engines, whose ticks already pay Θ(live) for the drain itself.
+func (s *Session) observeBattery(ts *TickStats) {
+	if s.battery == nil || ts.Live == 0 {
+		return
+	}
+	var sum, sumSq float64
+	for u, alive := range s.alive {
+		if alive {
+			b := s.battery[u]
+			sum += b
+			sumSq += b * b
+		}
+	}
+	n := float64(ts.Live)
+	mean := sum / n
+	ts.Residual = mean
+	v := sumSq/n - mean*mean
+	if v < 0 { // floating-point cancellation on near-equal residuals
+		v = 0
+	}
+	ts.EnergyVar = v
+}
+
+// drainLocked charges every live node one tick's transmit energy —
+// drain × p(radius), the nominal power of its installed broadcast radius
+// scaled by the engine's drain coefficient — clamping batteries at zero.
+// It runs inside Tick, after the batch's repairs installed the tick's
+// radii and before the observation, so drained energy reflects the
+// topology actually transmitted on. A no-battery engine makes it a
+// no-op.
+func (s *Session) drainLocked() {
+	if s.battery == nil || s.eng.batteryDrain == 0 {
+		return
+	}
+	drain := s.eng.batteryDrain
+	m := s.eng.model
+	for u, alive := range s.alive {
+		if !alive {
+			continue
+		}
+		b := s.battery[u]
+		if b == 0 {
+			continue
+		}
+		nb := b - drain*m.PowerFor(s.radius[u])
+		if nb < 0 {
+			nb = 0
+		}
+		s.battery[u] = nb
+	}
+}
+
+// Depleted returns the ids of live nodes whose battery has emptied, in
+// ascending order — the deaths a lifetime driver converts into Leave
+// events. It returns nil on engines without a battery model.
+func (s *Session) Depleted() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depletedLocked()
+}
+
+func (s *Session) depletedLocked() []int {
+	if s.battery == nil {
+		return nil
+	}
+	var out []int
+	for u, alive := range s.alive {
+		if alive && s.battery[u] == 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Residual returns node id's residual battery energy — the full capacity
+// until the first tick drains it, zero once depleted, and the last value
+// for departed nodes. Engines without a battery model report 0. Like
+// Position it panics on an id the session never allocated.
+func (s *Session) Residual(id int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.pos) {
+		panic(fmt.Sprintf("cbtc: session has no node %d (len %d)", id, len(s.pos)))
+	}
+	if s.battery == nil {
+		return 0
+	}
+	return s.battery[id]
 }
 
 // observeGraph computes TickStats from scratch over g — the reference
@@ -704,12 +841,16 @@ func (s *Session) Engine() *Engine { return s.eng }
 // under-inclusion would let stale state survive.
 const rangeSlack = 1e-9
 
-// withinRange returns the live nodes other than self within R of p, in
-// ascending id order. The spatial index — which holds exactly the live
-// nodes — answers the radius query; the slightly widened query radius
-// plus the exact distance re-check reproduce the full-scan predicate.
+// withinRange returns the live nodes other than self within the
+// propagation model's link-radius bound of p, in ascending id order. The
+// spatial index — which holds exactly the live nodes — answers the
+// radius query; the slightly widened query radius plus the exact
+// distance re-check reproduce the full-scan predicate. The bound is the
+// affected-region radius: no link — even a favorably-shadowed one — can
+// exceed it, so every node whose neighborhood an event could change is
+// included.
 func (s *Session) withinRange(self int, p Point) []int {
-	r := s.eng.model.MaxRadius * (1 + rangeSlack)
+	r := s.eng.prop.MaxLinkRadius() * (1 + rangeSlack)
 	out := make([]int, 0, 16)
 	for _, v := range s.idx.Within(p, r*(1+spatial.QuerySlack)) {
 		if v == self {
@@ -772,7 +913,7 @@ func (s *Session) recompute(ids []int) []int {
 	// no caller-supplied context to honor.
 	_ = core.ParallelRange(context.Background(), len(live), workers, func(w, i int) {
 		u := live[i]
-		nr := runners[w].RunNode(s.pos, s.alive, s.eng.model, s.eng.cfg.Alpha, u, s.idx)
+		nr := runners[w].RunNode(s.pos, s.alive, s.eng.prop, s.eng.cfg.Alpha, u, s.idx)
 		if s.eng.schedule != nil {
 			nr.Neighbors = core.QuantizeNeighbors(nr.Neighbors, s.eng.schedule)
 		}

@@ -95,7 +95,11 @@ func (s *Session) ApplyBatch(events []Event) (BatchReport, error) {
 // and observes the repaired topology in the same critical section, so a
 // synchronized fleet tick costs one lock acquisition and the observed
 // TickStats cannot interleave with another driver's events. Applying an
-// empty batch is a valid tick — the observation still runs.
+// empty batch is a valid tick — the observation still runs. On engines
+// built WithBattery the tick also charges every live node one tick's
+// transmit energy (drain × p(radius), at the radius the batch's repairs
+// just installed) before observing, so the observed residual stats
+// reflect this tick's spend.
 //
 // On a validation error nothing is applied (ApplyBatch's all-or-nothing
 // contract). If the observation itself fails — possible only on the
@@ -109,6 +113,7 @@ func (s *Session) Tick(events []Event) (BatchReport, TickStats, error) {
 	if err != nil {
 		return BatchReport{}, TickStats{}, err
 	}
+	s.drainLocked()
 	ts, err := s.observeLocked()
 	return rep, ts, err
 }
